@@ -1,0 +1,41 @@
+# PIM-Assembler build/test/reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench reproduce examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure (text + CSV for the plottable ones).
+reproduce: build
+	$(GO) run ./cmd/pimassembler all
+	@mkdir -p out
+	@for f in fig3b table1 fig9 fig10 fig11 ksweep; do \
+		$(GO) run ./cmd/pimassembler -csv $$f > out/$$f.csv; \
+	done
+	@echo "CSV artefacts in ./out"
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/throughput
+	$(GO) run ./examples/variation
+	$(GO) run ./examples/assembly
+	$(GO) run ./examples/reliability
+
+clean:
+	rm -rf out xnor_transient.csv

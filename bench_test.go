@@ -1,0 +1,278 @@
+// Package pimassembler's root benchmark suite regenerates every evaluation
+// artefact (one benchmark per paper table/figure — see DESIGN.md §3) and
+// runs the ablation studies of DESIGN.md §5. Figure benchmarks exercise the
+// same eval runners the cmd/pimassembler binary uses; functional benchmarks
+// drive the bit-accurate simulator.
+package pimassembler
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/bitvec"
+	"pimassembler/internal/circuit"
+	"pimassembler/internal/core"
+	"pimassembler/internal/dram"
+	"pimassembler/internal/eval"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+	"pimassembler/internal/perfmodel"
+	"pimassembler/internal/platforms"
+	"pimassembler/internal/stats"
+	"pimassembler/internal/subarray"
+)
+
+// --- E1: Fig. 3a ---
+
+func BenchmarkFig3aTransient(b *testing.B) {
+	cfg := circuit.DefaultTransientConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < 4; p++ {
+			circuit.SimulateXNOR2(cfg, p&1 != 0, p&2 != 0)
+		}
+	}
+}
+
+// --- E2: Fig. 3b ---
+
+func BenchmarkFig3bThroughput(b *testing.B) {
+	for _, spec := range platforms.All() {
+		for _, op := range []platforms.BulkOp{platforms.OpXNOR, platforms.OpAdd} {
+			b.Run(fmt.Sprintf("%s/%v", spec.Name, op), func(b *testing.B) {
+				var acc float64
+				for i := 0; i < b.N; i++ {
+					for _, n := range platforms.Fig3bSizes() {
+						acc += spec.Throughput(op, n)
+					}
+				}
+				if acc <= 0 {
+					b.Fatal("degenerate throughput")
+				}
+				b.ReportMetric(spec.Throughput(op, 1<<28)/1e9, "Gbit/s-modeled")
+			})
+		}
+	}
+}
+
+// --- E3: Table I ---
+
+func BenchmarkTableIMonteCarlo(b *testing.B) {
+	m := circuit.DefaultVariationModel()
+	for _, v := range circuit.TableIVariations() {
+		b.Run(fmt.Sprintf("var%.0f%%", v*100), func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			var r circuit.VariationResult
+			for i := 0; i < b.N; i++ {
+				r = m.MonteCarlo(1000, v, rng.Split())
+			}
+			b.ReportMetric(r.TRAErrPct, "TRA-err-%")
+			b.ReportMetric(r.TwoRowErrPct, "2row-err-%")
+		})
+	}
+}
+
+// --- E4: area overhead ---
+
+func BenchmarkAreaOverhead(b *testing.B) {
+	m := perfmodel.DefaultAreaModel()
+	g := platforms.PIMGeometry()
+	var rep perfmodel.AreaReport
+	for i := 0; i < b.N; i++ {
+		rep = m.Overhead(g)
+	}
+	b.ReportMetric(rep.OverheadPct, "area-%")
+}
+
+// --- E5/E6: Fig. 9 ---
+
+func BenchmarkFig9Assembly(b *testing.B) {
+	for _, k := range genome.PaperChr14().KmerRanges {
+		counts := eval.PaperCounts(k)
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			var pa, gpu perfmodel.StageCost
+			for i := 0; i < b.N; i++ {
+				for _, s := range eval.Fig9Platforms() {
+					c := perfmodel.AssemblyCost(s, counts)
+					switch s.Name {
+					case "P-A":
+						pa = c
+					case "GPU":
+						gpu = c
+					}
+				}
+			}
+			b.ReportMetric(pa.TotalS(), "P-A-s")
+			b.ReportMetric(gpu.TotalS()/pa.TotalS(), "speedup-vs-GPU")
+			b.ReportMetric(pa.PowerW, "P-A-W")
+		})
+	}
+}
+
+// --- E7: Fig. 10 ---
+
+func BenchmarkFig10Parallelism(b *testing.B) {
+	for _, k := range []int{16, 32} {
+		counts := eval.PaperCounts(k)
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			var pts []perfmodel.PdPoint
+			for i := 0; i < b.N; i++ {
+				pts = perfmodel.PdTradeoff(counts, eval.Fig10Pds())
+			}
+			b.ReportMetric(float64(perfmodel.OptimalPd(pts)), "optimal-Pd")
+		})
+	}
+}
+
+// --- E8/E9: Fig. 11 ---
+
+func BenchmarkFig11Bottleneck(b *testing.B) {
+	var us []perfmodel.Utilization
+	for i := 0; i < b.N; i++ {
+		us = eval.Fig11()
+	}
+	for _, u := range us {
+		if u.Platform == "P-A" && u.K == 16 {
+			b.ReportMetric(u.MBRPct, "P-A-MBR-%")
+			b.ReportMetric(u.RURPct, "P-A-RUR-%")
+		}
+	}
+}
+
+// --- E10: headline summary (exercises the full harness) ---
+
+func BenchmarkSummaryHarness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eval.RenderFig3b(io.Discard)
+		eval.RenderFig9(io.Discard)
+	}
+}
+
+// --- Functional simulator benchmarks ---
+
+func BenchmarkFunctionalXNORRow(b *testing.B) {
+	s := subarray.New(dram.Default(), dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy()))
+	rng := stats.NewRNG(1)
+	a := randomRow(rng, 256)
+	c := randomRow(rng, 256)
+	s.Poke(0, a)
+	s.Poke(1, c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.XNOR(0, 1, 2)
+	}
+}
+
+func BenchmarkFunctionalBitSerialAdd(b *testing.B) {
+	for _, m := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("width%d", m), func(b *testing.B) {
+			s := subarray.New(dram.Default(), dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy()))
+			rng := stats.NewRNG(2)
+			for bit := 0; bit < m; bit++ {
+				s.Poke(bit, randomRow(rng, 256))
+				s.Poke(100+bit, randomRow(rng, 256))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.BitSerialAdd(0, 100, 200, 300, m)
+			}
+		})
+	}
+}
+
+func BenchmarkFunctionalBulkXNOR(b *testing.B) {
+	p := core.NewDefaultPlatform()
+	n := p.BulkPad(1 << 14)
+	rng := stats.NewRNG(3)
+	x, y := bitvec.New(n), bitvec.New(n)
+	for i := 0; i < n; i++ {
+		x.Set(i, rng.Float64() < 0.5)
+		y.Set(i, rng.Float64() < 0.5)
+	}
+	b.SetBytes(int64(n / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BulkXNOR(x, y)
+	}
+}
+
+func BenchmarkFunctionalHashTableAdd(b *testing.B) {
+	p := core.NewDefaultPlatform()
+	tbl := core.NewHashTable(p, 16, 64)
+	rng := stats.NewRNG(4)
+	kms := make([]kmer.Kmer, 4096)
+	for i := range kms {
+		kms[i] = kmer.Kmer(rng.Uint64()) & kmer.Kmer(kmer.Mask(16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Add(kms[i%len(kms)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoftwarePipeline(b *testing.B) {
+	rng := stats.NewRNG(5)
+	ref := genome.GenerateGenome(20_000, rng)
+	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(2_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assembly.Assemble(reads, assembly.Options{K: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPIMPipeline(b *testing.B) {
+	rng := stats.NewRNG(6)
+	ref := genome.GenerateGenome(2_000, rng)
+	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewDefaultPlatform()
+		if _, err := assembly.AssemblePIM(p, reads, assembly.Options{K: 16}, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation studies (DESIGN.md §5) ---
+
+// AblationTwoRowVsTRAXnor isolates the paper's core claim: XNOR via the
+// reconfigurable SA's two-row activation versus emulating it Ambit-style
+// with majority/NOT ops (7 AAP cycles). The metric is AAP commands per
+// row-wide XNOR.
+func BenchmarkAblationTwoRowVsTRAXnor(b *testing.B) {
+	run := func(b *testing.B, emulateAmbit bool) {
+		s := subarray.New(dram.Default(), dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy()))
+		rng := stats.NewRNG(7)
+		s.Poke(0, randomRow(rng, 256))
+		s.Poke(1, randomRow(rng, 256))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if emulateAmbit {
+				s.XNOREmulatedTRA(0, 1, 2)
+			} else {
+				s.XNOR(0, 1, 2)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(s.Meter().TotalCommands())/float64(b.N), "cmds/op")
+		b.ReportMetric(s.Meter().LatencyNS/float64(b.N), "modeled-ns/op")
+	}
+	b.Run("two-row", func(b *testing.B) { run(b, false) })
+	b.Run("ambit-TRA", func(b *testing.B) { run(b, true) })
+}
+
+// randomRow builds a random 256-bit row vector.
+func randomRow(rng *stats.RNG, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Float64() < 0.5)
+	}
+	return v
+}

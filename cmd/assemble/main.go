@@ -1,0 +1,182 @@
+// Command assemble runs the end-to-end genome assembler: FASTA/FASTQ reads
+// in, contigs out, with a choice of engine — the software reference pipeline
+// or the functional PIM simulation (every k-mer comparison and counter
+// update executed on the simulated sub-arrays) — and per-platform latency
+// and power estimates for the workload.
+//
+// Usage:
+//
+//	assemble -in reads.fasta -k 16 -out contigs.fasta [-engine pim] [-scaffold] [-estimate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/core"
+	"pimassembler/internal/debruijn"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/metrics"
+	"pimassembler/internal/perfmodel"
+	"pimassembler/internal/platforms"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input reads (FASTA or FASTQ by extension)")
+		out      = flag.String("out", "contigs.fasta", "output contigs FASTA")
+		k        = flag.Int("k", 16, "k-mer length (paper sweeps 16, 22, 26, 32)")
+		minCount = flag.Uint("mincount", 0, "drop k-mers observed fewer times")
+		engine   = flag.String("engine", "software", "assembly engine: software | pim")
+		nsub     = flag.Int("subarrays", 16, "PIM engine: sub-arrays for the hash table")
+		scaffold = flag.Bool("scaffold", false, "run stage 3 (greedy scaffolding)")
+		simplify = flag.Bool("simplify", false, "run Velvet-style tip/bubble removal after graph construction")
+		correctF = flag.Bool("correct", false, "run k-mer-spectrum read correction before counting")
+		estimate = flag.Bool("estimate", false, "print per-platform latency/power estimates")
+		refPath  = flag.String("ref", "", "optional reference FASTA for quality metrics")
+		paired   = flag.Bool("paired", false, "treat input as interleaved paired-end reads and run mate-pair scaffolding")
+		insert   = flag.Int("insert", 400, "paired mode: mean library insert size")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "assemble: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reads, err := loadReads(*in)
+	if err != nil {
+		fail(err)
+	}
+	var pairs []genome.ReadPair
+	if *paired {
+		if len(reads)%2 != 0 {
+			fail(fmt.Errorf("paired mode needs an even read count, got %d", len(reads)))
+		}
+		for i := 0; i+1 < len(reads); i += 2 {
+			pairs = append(pairs, genome.ReadPair{R1: reads[i], R2: reads[i+1]})
+		}
+		reads = genome.Flatten(pairs)
+	}
+	opts := assembly.Options{
+		K:          *k,
+		MinCount:   uint32(*minCount),
+		Scaffold:   *scaffold,
+		Simplify:   *simplify,
+		Correct:    *correctF,
+		MinOverlap: *k - 4,
+	}
+
+	var (
+		contigs []debruijn.Contig
+		res     *assembly.Result
+	)
+	switch *engine {
+	case "software":
+		res, err = assembly.Assemble(reads, opts)
+		if err != nil {
+			fail(err)
+		}
+		contigs = res.Contigs
+		fmt.Printf("software pipeline: hashmap %v, deBruijn %v, traverse %v\n",
+			res.Timings.Hashmap, res.Timings.DeBruijn, res.Timings.Traverse)
+	case "pim":
+		p := core.NewDefaultPlatform()
+		pres, err := assembly.AssemblePIM(p, reads, opts, *nsub)
+		if err != nil {
+			fail(err)
+		}
+		contigs = pres.Contigs
+		m := p.Meter()
+		fmt.Printf("PIM functional run: %d commands, %.2f ms serial command time, %.2f µJ array energy\n",
+			m.TotalCommands(), m.LatencyNS/1e6, m.EnergyPJ/1e6)
+		est := p.ParallelEstimate()
+		fmt.Printf("scheduled makespan: %.2f ms (%.1fx overlap across %d sub-arrays)\n",
+			est.MakespanNS/1e6, est.Speedup, p.MaterializedSubarrays())
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	records := make([]genome.Record, len(contigs))
+	for i, c := range contigs {
+		records[i] = genome.Record{
+			Name: fmt.Sprintf("contig_%d len=%d cov=%.1f", i, c.Seq.Len(), c.MeanCoverage),
+			Seq:  c.Seq,
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := genome.WriteFASTA(f, records); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("assembled %d reads (k=%d): %d contigs, %d bases, N50=%d\n",
+		len(reads), *k, len(contigs), debruijn.TotalBases(contigs), debruijn.N50(contigs))
+	if *paired {
+		ms := assembly.MatePairScaffold(contigs, pairs, *k, *insert, 3)
+		longest := 0
+		for _, s := range ms {
+			if len(s.Contigs) > longest {
+				longest = len(s.Contigs)
+			}
+		}
+		fmt.Printf("mate-pair scaffolding: %d contigs -> %d scaffolds (longest chain %d contigs)\n",
+			len(contigs), len(ms), longest)
+	}
+	if *scaffold && res != nil {
+		fmt.Printf("stage 3: %d scaffolds\n", len(res.Scaffolds))
+	}
+
+	if *refPath != "" {
+		refRecs, err := loadRecords(*refPath)
+		if err != nil {
+			fail(err)
+		}
+		if len(refRecs) != 1 {
+			fail(fmt.Errorf("reference FASTA must hold exactly one sequence, got %d", len(refRecs)))
+		}
+		fmt.Println("quality vs reference:", metrics.Evaluate(contigs, refRecs[0].Seq))
+	}
+
+	if *estimate && res != nil {
+		fmt.Println("\nper-platform estimates for this workload (analytical models):")
+		for _, s := range []platforms.Spec{platforms.GPU(), platforms.PIMAssembler(), platforms.Ambit(), platforms.DRISA3T1C(), platforms.DRISA1T1C()} {
+			fmt.Println(" ", perfmodel.AssemblyCost(s, res.Counts))
+		}
+	}
+}
+
+func loadRecords(path string) ([]genome.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".fastq") || strings.HasSuffix(path, ".fq") {
+		return genome.ReadFASTQ(f)
+	}
+	return genome.ReadFASTA(f)
+}
+
+func loadReads(path string) ([]*genome.Sequence, error) {
+	records, err := loadRecords(path)
+	if err != nil {
+		return nil, err
+	}
+	reads := make([]*genome.Sequence, len(records))
+	for i, r := range records {
+		reads[i] = r.Seq
+	}
+	return reads, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "assemble:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command pimassembler is the experiment driver: it regenerates every table
+// and figure of the paper's evaluation as text tables (see DESIGN.md §3 for
+// the experiment index).
+//
+// Usage:
+//
+//	pimassembler fig2b     # SA inverter VTCs and detector truth table
+//	pimassembler fig3a     # transient simulation of in-memory XNOR2
+//	pimassembler fig3b     # raw bulk-op throughput, 7 platforms
+//	pimassembler table1    # Monte-Carlo process-variation sweep
+//	pimassembler area      # chip-area overhead accounting
+//	pimassembler fig9      # genome-pipeline execution time and power
+//	pimassembler fig10     # power/delay vs parallelism degree
+//	pimassembler fig11     # memory-bottleneck and utilization ratios
+//	pimassembler faults    # Table I rates injected into the pipeline
+//	pimassembler all       # everything, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pimassembler/internal/eval"
+)
+
+var runners = map[string]func(io.Writer){
+	"fig2b":  eval.RenderFig2b,
+	"fig3a":  eval.RenderFig3a,
+	"fig3b":  eval.RenderFig3b,
+	"table1": eval.RenderTableI,
+	"area":   eval.RenderArea,
+	"fig9":   eval.RenderFig9,
+	"fig10":  eval.RenderFig10,
+	"fig11":  eval.RenderFig11,
+	"faults": eval.RenderFaultStudy,
+	"ksweep": eval.RenderKSweep,
+	"sens":   eval.RenderSensitivity,
+	"all":    eval.RenderAll,
+}
+
+func main() {
+	asCSV := flag.Bool("csv", false, "emit the experiment as CSV (fig3b, table1, fig9, fig10, fig11, ksweep)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if *asCSV {
+		if err := eval.WriteCSV(name, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	run, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		usage()
+		os.Exit(2)
+	}
+	run(os.Stdout)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pimassembler [-csv] <experiment>")
+	fmt.Fprintln(os.Stderr, "experiments: fig2b fig3a fig3b table1 area fig9 fig10 fig11 faults ksweep sens all")
+}

@@ -1,0 +1,83 @@
+// Command readgen generates deterministic synthetic genomes and short-read
+// datasets — the chromosome-14 substitute workload (DESIGN.md §1).
+//
+// Usage:
+//
+//	readgen -genome 100000 -reads 5000 -len 101 -seed 7 -out reads.fasta [-ref genome.fasta] [-errors 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/stats"
+)
+
+func main() {
+	var (
+		genomeLen = flag.Int("genome", 100_000, "synthetic genome length (bp)")
+		reads     = flag.Int("reads", 5_000, "number of reads to sample")
+		readLen   = flag.Int("len", 101, "read length (bp), paper uses 101")
+		seed      = flag.Uint64("seed", 7, "deterministic seed")
+		errRate   = flag.Float64("errors", 0, "per-base substitution error rate")
+		out       = flag.String("out", "reads.fasta", "output FASTA of reads")
+		ref       = flag.String("ref", "", "optional output FASTA of the reference genome")
+		repeats   = flag.Int("repeats", 0, "planted tandem repeats (0 = uniform random genome)")
+		paired    = flag.Bool("paired", false, "generate paired-end reads (interleaved /1, /2 records)")
+		insert    = flag.Int("insert", 400, "paired mode: mean insert size")
+		stdInsert = flag.Float64("stdinsert", 20, "paired mode: insert-size standard deviation")
+	)
+	flag.Parse()
+
+	rng := stats.NewRNG(*seed)
+	var g *genome.Sequence
+	if *repeats > 0 {
+		g = genome.GenerateRepetitiveGenome(*genomeLen, 500, *repeats, rng)
+	} else {
+		g = genome.GenerateGenome(*genomeLen, rng)
+	}
+
+	var records []genome.Record
+	if *paired {
+		sampler := genome.NewPairedSampler(g, *readLen, *insert, *stdInsert, *errRate, rng)
+		for i := 0; i < *reads/2; i++ {
+			p := sampler.Next()
+			records = append(records,
+				genome.Record{Name: fmt.Sprintf("read_%d/1", i), Seq: p.R1},
+				genome.Record{Name: fmt.Sprintf("read_%d/2", i), Seq: p.R2})
+		}
+	} else {
+		sampler := genome.NewReadSampler(g, *readLen, *errRate, rng)
+		for i := 0; i < *reads; i++ {
+			records = append(records, genome.Record{Name: fmt.Sprintf("read_%d", i), Seq: sampler.Next()})
+		}
+	}
+
+	if err := writeFASTA(*out, records); err != nil {
+		fmt.Fprintln(os.Stderr, "readgen:", err)
+		os.Exit(1)
+	}
+	if *ref != "" {
+		if err := writeFASTA(*ref, []genome.Record{{Name: "reference", Seq: g}}); err != nil {
+			fmt.Fprintln(os.Stderr, "readgen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d reads of %d bp (genome %d bp, %.1fx coverage, paired=%v) to %s\n",
+		len(records), *readLen, *genomeLen,
+		float64(len(records))*float64(*readLen)/float64(*genomeLen), *paired, *out)
+}
+
+func writeFASTA(path string, records []genome.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := genome.WriteFASTA(f, records); err != nil {
+		return err
+	}
+	return f.Sync()
+}

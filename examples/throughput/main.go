@@ -1,0 +1,59 @@
+// Throughput: the §II-B raw bulk-op study across all seven platforms — the
+// data behind Fig. 3b — plus a functional cross-check that the simulated
+// sub-arrays really compute what the analytical model prices.
+package main
+
+import (
+	"fmt"
+
+	"pimassembler/internal/bitvec"
+	"pimassembler/internal/core"
+	"pimassembler/internal/platforms"
+	"pimassembler/internal/stats"
+)
+
+func main() {
+	fmt.Println("Raw bulk bit-wise throughput (Gbit/s) by operand size:")
+	fmt.Printf("%-6s %-5s %12s %12s %12s\n", "plat", "op", "2^27", "2^28", "2^29")
+	for _, r := range platforms.Fig3b() {
+		fmt.Printf("%-6s %-5s %12.1f %12.1f %12.1f\n",
+			r.Platform, r.Op, r.BitsPerS[0]/1e9, r.BitsPerS[1]/1e9, r.BitsPerS[2]/1e9)
+	}
+
+	fmt.Println("\nHeadline ratios (P-A vs baselines):")
+	paX := throughput("P-A", platforms.OpXNOR)
+	for _, base := range []string{"CPU", "GPU", "HMC", "Ambit", "D1", "D3"} {
+		fmt.Printf("  vs %-5s XNOR %5.1fx   ADD %5.1fx\n", base,
+			paX/throughput(base, platforms.OpXNOR),
+			throughput("P-A", platforms.OpAdd)/throughput(base, platforms.OpAdd))
+	}
+
+	// Functional cross-check: run a (much smaller) bulk XNOR on the
+	// simulated sub-arrays and verify against the host computation.
+	p := core.NewDefaultPlatform()
+	n := p.BulkPad(1 << 16)
+	rng := stats.NewRNG(3)
+	a, b := bitvec.New(n), bitvec.New(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, rng.Float64() < 0.5)
+		b.Set(i, rng.Float64() < 0.5)
+	}
+	got := p.BulkXNOR(a, b)
+	want := bitvec.New(n)
+	want.Xnor(a, b)
+	if !got.Equal(want) {
+		panic("functional bulk XNOR diverged from host computation")
+	}
+	m := p.Meter()
+	fmt.Printf("\nfunctional cross-check: %d-bit XNOR on %d sub-arrays — %d commands, result verified\n",
+		n, p.MaterializedSubarrays(), m.TotalCommands())
+}
+
+func throughput(name string, op platforms.BulkOp) float64 {
+	for _, r := range platforms.Fig3b() {
+		if r.Platform == name && r.Op == op {
+			return r.MeanThroughput()
+		}
+	}
+	panic("unknown platform " + name)
+}

@@ -1,0 +1,3 @@
+module pimassembler
+
+go 1.22

@@ -1,0 +1,276 @@
+// Package align implements DNA sequence alignment: global (Needleman-
+// Wunsch) and semi-global (query fitted anywhere inside a longer target)
+// edit-distance alignment with traceback, plus banded variants for bounded
+// divergence. It is the evaluation substrate that upgrades contig scoring
+// from exact substring matching to tolerance of small differences — the
+// regime fault-injected and error-read assemblies live in.
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"pimassembler/internal/genome"
+)
+
+// Op is one alignment operation.
+type Op byte
+
+const (
+	// OpMatch: equal bases.
+	OpMatch Op = 'M'
+	// OpMismatch: substitution.
+	OpMismatch Op = 'X'
+	// OpInsert: base present in the query, absent in the target.
+	OpInsert Op = 'I'
+	// OpDelete: base present in the target, absent in the query.
+	OpDelete Op = 'D'
+)
+
+// Alignment is a scored alignment of query against target.
+type Alignment struct {
+	// Distance is the edit distance (unit costs).
+	Distance int
+	// TargetStart/TargetEnd delimit the aligned target window (semi-global
+	// alignments choose it; global alignments span the whole target).
+	TargetStart, TargetEnd int
+	// Ops is the traceback, query-order.
+	Ops []Op
+}
+
+// CIGAR renders the ops in a compact run-length form (e.g. "35M1X64M").
+func (a Alignment) CIGAR() string {
+	if len(a.Ops) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	run := a.Ops[0]
+	count := 0
+	flush := func() {
+		fmt.Fprintf(&sb, "%d%c", count, run)
+	}
+	for _, op := range a.Ops {
+		if op == run {
+			count++
+			continue
+		}
+		flush()
+		run, count = op, 1
+	}
+	flush()
+	return sb.String()
+}
+
+// Identity returns the fraction of query bases aligned as matches.
+func (a Alignment) Identity() float64 {
+	if len(a.Ops) == 0 {
+		return 0
+	}
+	m := 0
+	for _, op := range a.Ops {
+		if op == OpMatch {
+			m++
+		}
+	}
+	return float64(m) / float64(len(a.Ops))
+}
+
+// Global aligns query against target end-to-end and returns the optimal
+// unit-cost alignment.
+func Global(query, target *genome.Sequence) Alignment {
+	n, m := query.Len(), target.Len()
+	// dp[i][j]: edit distance of query[:i] vs target[:j].
+	dp := makeMatrix(n+1, m+1)
+	for i := 0; i <= n; i++ {
+		dp[i][0] = i
+	}
+	for j := 0; j <= m; j++ {
+		dp[0][j] = j
+	}
+	fillDP(dp, query, target, n, m)
+	a := Alignment{Distance: dp[n][m], TargetStart: 0, TargetEnd: m}
+	a.Ops = traceback(dp, query, target, n, m, 0)
+	return a
+}
+
+// SemiGlobal fits the whole query anywhere inside the target: gaps before
+// and after the query's window are free. This is the contig-to-reference
+// alignment model.
+func SemiGlobal(query, target *genome.Sequence) Alignment {
+	n, m := query.Len(), target.Len()
+	dp := makeMatrix(n+1, m+1)
+	for i := 0; i <= n; i++ {
+		dp[i][0] = i
+	}
+	// Free leading target gaps.
+	for j := 0; j <= m; j++ {
+		dp[0][j] = 0
+	}
+	fillDP(dp, query, target, n, m)
+	// Free trailing target gaps: best end column on the last row.
+	bestJ := 0
+	for j := 0; j <= m; j++ {
+		if dp[n][j] < dp[n][bestJ] {
+			bestJ = j
+		}
+	}
+	a := Alignment{Distance: dp[n][bestJ], TargetEnd: bestJ}
+	a.Ops = traceback(dp, query, target, n, bestJ, 0)
+	// Recover the start: walk ops to count target consumption.
+	consumed := 0
+	for _, op := range a.Ops {
+		if op != OpInsert {
+			consumed++
+		}
+	}
+	a.TargetStart = bestJ - consumed
+	return a
+}
+
+// Distance returns the plain edit distance between two sequences without
+// traceback, in O(min) memory.
+func Distance(a, b *genome.Sequence) int {
+	n, m := a.Len(), b.Len()
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a.Base(i-1) == b.Base(j-1) {
+				cost = 0
+			}
+			cur[j] = min3(prev[j-1]+cost, prev[j]+1, cur[j-1]+1)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// WithinDistance reports whether the semi-global distance of query inside
+// target is at most maxDist, using a banded scan that exits early — the
+// fast path metrics uses to classify near-miss contigs. A negative maxDist
+// always reports false.
+func WithinDistance(query, target *genome.Sequence, maxDist int) bool {
+	if maxDist < 0 {
+		return false
+	}
+	n, m := query.Len(), target.Len()
+	if n == 0 {
+		return true
+	}
+	// Ukkonen-style banded semi-global DP over rows of the query; column
+	// range per row is bounded by the band around every possible start.
+	// With free leading/trailing gaps the band cannot prune by diagonal
+	// alone, so bound per-row values and bail when the row minimum exceeds
+	// maxDist.
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = 0 // free leading gaps
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if query.Base(i-1) == target.Base(j-1) {
+				cost = 0
+			}
+			cur[j] = min3(prev[j-1]+cost, prev[j]+1, cur[j-1]+1)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > maxDist {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	for j := 0; j <= m; j++ {
+		if prev[j] <= maxDist {
+			return true
+		}
+	}
+	return false
+}
+
+func makeMatrix(rows, cols int) [][]int {
+	flat := make([]int, rows*cols)
+	out := make([][]int, rows)
+	for i := range out {
+		out[i], flat = flat[:cols], flat[cols:]
+	}
+	return out
+}
+
+func fillDP(dp [][]int, query, target *genome.Sequence, n, m int) {
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if query.Base(i-1) == target.Base(j-1) {
+				cost = 0
+			}
+			dp[i][j] = min3(dp[i-1][j-1]+cost, dp[i-1][j]+1, dp[i][j-1]+1)
+		}
+	}
+}
+
+// traceback recovers ops from dp ending at (i, j); stopJ is the column at
+// which row 0 stops (0 for global; semi-global stops wherever row 0 is
+// reached since leading gaps are free).
+func traceback(dp [][]int, query, target *genome.Sequence, i, j, stopJ int) []Op {
+	var rev []Op
+	for i > 0 || j > stopJ {
+		switch {
+		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+matchCost(query, target, i, j):
+			if query.Base(i-1) == target.Base(j-1) {
+				rev = append(rev, OpMatch)
+			} else {
+				rev = append(rev, OpMismatch)
+			}
+			i--
+			j--
+		case i > 0 && dp[i][j] == dp[i-1][j]+1:
+			rev = append(rev, OpInsert)
+			i--
+		case j > 0 && dp[i][j] == dp[i][j-1]+1:
+			rev = append(rev, OpDelete)
+			j--
+		default:
+			// Row 0 with free gaps: stop.
+			if i == 0 {
+				return reverse(rev)
+			}
+			panic("align: traceback stuck")
+		}
+	}
+	return reverse(rev)
+}
+
+func matchCost(q, t *genome.Sequence, i, j int) int {
+	if q.Base(i-1) == t.Base(j-1) {
+		return 0
+	}
+	return 1
+}
+
+func reverse(ops []Op) []Op {
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+	return ops
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,186 @@
+package align
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/stats"
+)
+
+func seq(t *testing.T, s string) *genome.Sequence {
+	t.Helper()
+	return genome.MustFromString(s)
+}
+
+func TestGlobalIdentical(t *testing.T) {
+	a := Global(seq(t, "ACGTACGT"), seq(t, "ACGTACGT"))
+	if a.Distance != 0 {
+		t.Fatalf("distance %d", a.Distance)
+	}
+	if a.CIGAR() != "8M" {
+		t.Fatalf("cigar %q", a.CIGAR())
+	}
+	if a.Identity() != 1 {
+		t.Fatalf("identity %v", a.Identity())
+	}
+}
+
+func TestGlobalSubstitution(t *testing.T) {
+	a := Global(seq(t, "ACGTACGT"), seq(t, "ACGAACGT"))
+	if a.Distance != 1 {
+		t.Fatalf("distance %d", a.Distance)
+	}
+	if a.CIGAR() != "3M1X4M" {
+		t.Fatalf("cigar %q", a.CIGAR())
+	}
+}
+
+func TestGlobalIndel(t *testing.T) {
+	a := Global(seq(t, "ACGTT"), seq(t, "ACGT"))
+	if a.Distance != 1 {
+		t.Fatalf("distance %d", a.Distance)
+	}
+	if !strings.Contains(a.CIGAR(), "I") {
+		t.Fatalf("cigar %q lacks insertion", a.CIGAR())
+	}
+	b := Global(seq(t, "ACGT"), seq(t, "ACGTT"))
+	if b.Distance != 1 || !strings.Contains(b.CIGAR(), "D") {
+		t.Fatalf("deletion case: %d %q", b.Distance, b.CIGAR())
+	}
+}
+
+func TestSemiGlobalFindsWindow(t *testing.T) {
+	rng := stats.NewRNG(1)
+	target := genome.GenerateGenome(500, rng)
+	query := target.Subsequence(137, 60)
+	a := SemiGlobal(query, target)
+	if a.Distance != 0 {
+		t.Fatalf("exact substring distance %d", a.Distance)
+	}
+	if a.TargetStart != 137 || a.TargetEnd != 197 {
+		t.Fatalf("window [%d,%d), want [137,197)", a.TargetStart, a.TargetEnd)
+	}
+	if a.CIGAR() != "60M" {
+		t.Fatalf("cigar %q", a.CIGAR())
+	}
+}
+
+func TestSemiGlobalWithErrors(t *testing.T) {
+	rng := stats.NewRNG(2)
+	target := genome.GenerateGenome(400, rng)
+	query := target.Subsequence(100, 80)
+	// Two substitutions.
+	query.SetBase(10, genome.Base((int(query.Base(10))+1)%4))
+	query.SetBase(50, genome.Base((int(query.Base(50))+2)%4))
+	a := SemiGlobal(query, target)
+	if a.Distance != 2 {
+		t.Fatalf("distance %d, want 2", a.Distance)
+	}
+	if a.TargetStart != 100 {
+		t.Fatalf("start %d, want 100", a.TargetStart)
+	}
+}
+
+func TestDistanceMatchesGlobal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		a := genome.GenerateGenome(1+rng.Intn(60), rng)
+		b := genome.GenerateGenome(1+rng.Intn(60), rng)
+		return Distance(a, b) == Global(a, b).Distance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: edit distance is a metric — symmetry, identity, and the
+// triangle inequality.
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		a := genome.GenerateGenome(1+rng.Intn(40), rng)
+		b := genome.GenerateGenome(1+rng.Intn(40), rng)
+		c := genome.GenerateGenome(1+rng.Intn(40), rng)
+		if Distance(a, a) != 0 {
+			return false
+		}
+		if Distance(a, b) != Distance(b, a) {
+			return false
+		}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the traceback's op counts reconcile with the distance and both
+// sequence lengths.
+func TestTracebackConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		q := genome.GenerateGenome(1+rng.Intn(50), rng)
+		tg := genome.GenerateGenome(1+rng.Intn(50), rng)
+		a := Global(q, tg)
+		var qBases, tBases, edits int
+		for _, op := range a.Ops {
+			switch op {
+			case OpMatch:
+				qBases++
+				tBases++
+			case OpMismatch:
+				qBases++
+				tBases++
+				edits++
+			case OpInsert:
+				qBases++
+				edits++
+			case OpDelete:
+				tBases++
+				edits++
+			}
+		}
+		return qBases == q.Len() && tBases == tg.Len() && edits == a.Distance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	rng := stats.NewRNG(3)
+	target := genome.GenerateGenome(600, rng)
+	query := target.Subsequence(200, 100)
+	query.SetBase(40, genome.Base((int(query.Base(40))+1)%4))
+	if !WithinDistance(query, target, 1) {
+		t.Fatal("1-edit query rejected at maxDist=1")
+	}
+	if WithinDistance(query, target, 0) {
+		t.Fatal("1-edit query accepted at maxDist=0")
+	}
+	if WithinDistance(query, target, -1) {
+		t.Fatal("negative maxDist accepted")
+	}
+}
+
+// Property: WithinDistance agrees with the full semi-global distance.
+func TestWithinDistanceAgreesWithSemiGlobal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		tg := genome.GenerateGenome(30+rng.Intn(80), rng)
+		q := genome.GenerateGenome(1+rng.Intn(25), rng)
+		d := SemiGlobal(q, tg).Distance
+		return WithinDistance(q, tg, d) && !WithinDistance(q, tg, d-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIGAREmpty(t *testing.T) {
+	if got := (Alignment{}).CIGAR(); got != "" {
+		t.Fatalf("empty cigar %q", got)
+	}
+}

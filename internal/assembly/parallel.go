@@ -1,0 +1,94 @@
+package assembly
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pimassembler/internal/core"
+	"pimassembler/internal/dram"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+)
+
+// ParallelCountResult is the outcome of a sharded PIM k-mer count.
+type ParallelCountResult struct {
+	Entries []kmer.Entry
+	// Meter is the merged command accounting of all shards. Its latency is
+	// the per-shard serial sum; shards ran concurrently, so the wall-clock
+	// lower bound is MaxShardLatencyNS.
+	Meter *dram.Meter
+	// MaxShardLatencyNS is the largest single shard's serial latency — the
+	// critical path when shards execute in parallel hardware.
+	MaxShardLatencyNS float64
+	Shards            int
+}
+
+// CountKmersPIMParallel runs stage 1 on nShards independent PIM hash-table
+// shards, each owning its own sub-platform and meter, processed by one
+// goroutine per shard. K-mers route to shards by hash (the same correlated
+// partitioning idea as Fig. 6, one level up), so shards share nothing and
+// the merge is a concatenation.
+//
+// subarraysPerShard bounds each shard's table spread. The merged entries
+// are identical to a serial software count — asserted by tests — and the
+// merged meter matches the serial functional run's command totals.
+func CountKmersPIMParallel(reads []*genome.Sequence, k, nShards, subarraysPerShard int) (*ParallelCountResult, error) {
+	if nShards <= 0 {
+		return nil, fmt.Errorf("assembly: non-positive shard count %d", nShards)
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("assembly: no reads")
+	}
+
+	// Pre-split the k-mer stream per shard (routing by high hash bits so
+	// it stays independent of the table's own placement hashing).
+	shardInput := make([][]kmer.Kmer, nShards)
+	for _, r := range reads {
+		kmer.Iterate(r, k, func(km kmer.Kmer) {
+			s := int(km.Hash() >> 48 % uint64(nShards))
+			shardInput[s] = append(shardInput[s], km)
+		})
+	}
+
+	type shardOut struct {
+		entries []kmer.Entry
+		meter   *dram.Meter
+		err     error
+	}
+	outs := make([]shardOut, nShards)
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			p := core.NewDefaultPlatform()
+			tbl := core.NewHashTable(p, k, subarraysPerShard)
+			for _, km := range shardInput[s] {
+				if _, err := tbl.Add(km); err != nil {
+					outs[s].err = fmt.Errorf("shard %d: %w", s, err)
+					return
+				}
+			}
+			outs[s] = shardOut{entries: tbl.Entries(), meter: p.Meter()}
+		}(s)
+	}
+	wg.Wait()
+
+	res := &ParallelCountResult{
+		Meter:  dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy()),
+		Shards: nShards,
+	}
+	for s := range outs {
+		if outs[s].err != nil {
+			return nil, outs[s].err
+		}
+		res.Entries = append(res.Entries, outs[s].entries...)
+		res.Meter.Merge(outs[s].meter)
+		if outs[s].meter.LatencyNS > res.MaxShardLatencyNS {
+			res.MaxShardLatencyNS = outs[s].meter.LatencyNS
+		}
+	}
+	sort.Slice(res.Entries, func(a, b int) bool { return res.Entries[a].Kmer < res.Entries[b].Kmer })
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package assembly
+
+import (
+	"testing"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+	"pimassembler/internal/stats"
+)
+
+func TestParallelCountMatchesSoftware(t *testing.T) {
+	rng := stats.NewRNG(60)
+	ref := genome.GenerateGenome(2000, rng)
+	reads := genome.NewReadSampler(ref, 90, 0, rng).Sample(300)
+	k := 14
+
+	res, err := CountKmersPIMParallel(reads, k, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTbl := kmer.CountReads(reads, k)
+	refEntries := refTbl.Entries()
+	if len(res.Entries) != len(refEntries) {
+		t.Fatalf("entry count %d, want %d", len(res.Entries), len(refEntries))
+	}
+	for i := range refEntries {
+		if res.Entries[i] != refEntries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, res.Entries[i], refEntries[i])
+		}
+	}
+	if res.Shards != 4 {
+		t.Fatalf("shards %d", res.Shards)
+	}
+}
+
+func TestParallelCountMeterConsistency(t *testing.T) {
+	rng := stats.NewRNG(61)
+	reads := genome.NewReadSampler(genome.GenerateGenome(1000, rng), 80, 0, rng).Sample(100)
+	res, err := CountKmersPIMParallel(reads, 12, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meter.TotalCommands() == 0 {
+		t.Fatal("merged meter empty")
+	}
+	// The parallel critical path is bounded by the serial total and must
+	// be at most the whole but at least total/shards.
+	if res.MaxShardLatencyNS <= 0 || res.MaxShardLatencyNS > res.Meter.LatencyNS {
+		t.Fatalf("critical path %.1f vs serial %.1f", res.MaxShardLatencyNS, res.Meter.LatencyNS)
+	}
+	if res.MaxShardLatencyNS < res.Meter.LatencyNS/float64(res.Shards)/2 {
+		t.Fatal("critical path implausibly short; shard imbalance bug?")
+	}
+}
+
+func TestParallelCountDeterministic(t *testing.T) {
+	rng := stats.NewRNG(62)
+	reads := genome.NewReadSampler(genome.GenerateGenome(800, rng), 70, 0, rng).Sample(80)
+	a, err := CountKmersPIMParallel(reads, 11, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CountKmersPIMParallel(reads, 11, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatal("nondeterministic entry count")
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("nondeterministic entries")
+		}
+	}
+	if a.Meter.TotalCommands() != b.Meter.TotalCommands() {
+		t.Fatal("nondeterministic command counts")
+	}
+}
+
+func TestParallelCountValidation(t *testing.T) {
+	if _, err := CountKmersPIMParallel(nil, 12, 2, 4); err == nil {
+		t.Fatal("empty reads accepted")
+	}
+	rng := stats.NewRNG(63)
+	reads := []*genome.Sequence{genome.GenerateGenome(50, rng)}
+	if _, err := CountKmersPIMParallel(reads, 12, 0, 4); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

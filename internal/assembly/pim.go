@@ -1,0 +1,105 @@
+package assembly
+
+import (
+	"fmt"
+
+	"pimassembler/internal/core"
+	"pimassembler/internal/debruijn"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+)
+
+// PIMResult is an assembly executed on the functional PIM simulator: the
+// hash table was built with in-memory XNOR probes and ripple increments, the
+// graph degrees with in-memory popcounts, and the command stream is on the
+// platform meter.
+type PIMResult struct {
+	Result
+	Platform *core.Platform
+	// HashSubarrays is how many sub-arrays the hash table spread over.
+	HashSubarrays int
+	// BankSubarrays is how many sub-arrays the sequence bank occupied.
+	BankSubarrays int
+}
+
+// AssemblePIM runs stages 1-2 on the functional PIM platform, fully
+// memory-resident: the short reads are first stored into the Original
+// Sequence Bank (Fig. 6), then streamed back out through the memory path as
+// the controller parses k-mers into the hash sub-arrays. nSubarrays bounds
+// the hash-table spread (keep it small for tests; the analytical model
+// covers full scale). The returned contigs are produced from the table read
+// back out of the simulated DRAM rows, so every base has passed through the
+// in-memory pipeline twice — once as a banked read, once as a hash entry.
+func AssemblePIM(p *core.Platform, reads []*genome.Sequence, opts Options, nSubarrays int) (*PIMResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("assembly: no reads")
+	}
+
+	// Stage 0: load the reads into the sequence bank.
+	perRow := p.Geometry().ColsPerSubarray / genome.BaseBits
+	rowsNeeded := 0
+	for _, r := range reads {
+		rowsNeeded += (r.Len() + perRow - 1) / perRow
+	}
+	bankN := (rowsNeeded + p.Geometry().DataRows() - 1) / p.Geometry().DataRows()
+	// Row-granular packing can spill across a sub-array boundary once per
+	// sub-array; one spare absorbs it.
+	bankN++
+	bank := core.NewSequenceBank(p, 0, bankN)
+	if err := bank.StoreAll(reads); err != nil {
+		return nil, err
+	}
+
+	// Stage 1: PIM k-mer analysis, streaming reads back from the bank.
+	table := core.NewHashTableAt(p, opts.K, bankN, nSubarrays)
+	var addErr error
+	bank.Each(func(_ int, r *genome.Sequence) {
+		if addErr != nil {
+			return
+		}
+		kmer.Iterate(r, opts.K, func(km kmer.Kmer) {
+			if addErr != nil {
+				return
+			}
+			if _, err := table.Add(km); err != nil {
+				addErr = err
+			}
+		})
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+
+	// Stage 2a: graph construction from the DRAM-resident table.
+	g := debruijn.NewGraph(opts.K)
+	entries := table.Entries()
+	for _, e := range entries {
+		if opts.MinCount > 1 && e.Count < opts.MinCount {
+			continue
+		}
+		g.AddKmer(e.Kmer, e.Count)
+	}
+
+	// Stage 2b: PIM degree computation + traversal, then contigs.
+	res := &PIMResult{
+		Result: Result{
+			Options: opts,
+			Graph:   g,
+		},
+		Platform:      p,
+		HashSubarrays: nSubarrays,
+		BankSubarrays: bankN,
+	}
+	engine := core.NewGraphEngine(p, g, bankN+nSubarrays)
+	if walk, err := engine.EulerPath(); err == nil {
+		res.EulerWalk = walk
+	}
+	res.Contigs = g.Contigs()
+	if opts.Scaffold {
+		res.Scaffolds = ScaffoldContigs(res.Contigs, opts.MinOverlap)
+	}
+	return res, nil
+}

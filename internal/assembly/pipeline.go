@@ -1,0 +1,185 @@
+// Package assembly orchestrates the paper's three-stage genome-assembly
+// pipeline (Fig. 5a): (1) k-mer analysis building the frequency hash table,
+// (2) contig generation via de Bruijn graph construction and traversal, and
+// (3) scaffolding. The paper parallelises stages 1-2 on PIM-Assembler and
+// leaves stage 3 to future work; this package provides both the software
+// reference pipeline, the PIM-functional pipeline running on the simulated
+// hardware, and the operation-count extraction that feeds the analytical
+// performance models.
+package assembly
+
+import (
+	"fmt"
+	"time"
+
+	"pimassembler/internal/correct"
+	"pimassembler/internal/debruijn"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// K is the k-mer length (the paper sweeps 16, 22, 26, 32).
+	K int
+	// MinCount drops k-mers observed fewer times before graph construction
+	// (0 or 1 keeps everything).
+	MinCount uint32
+	// UseFleury selects the paper's Fleury traversal for the Euler stage
+	// instead of Hierholzer (slow; only sensible on small graphs).
+	UseFleury bool
+	// Simplify runs the Velvet-style error-removal passes (tip clipping
+	// and bubble popping) after graph construction. Combine with MinCount
+	// for noisy reads.
+	Simplify bool
+	// Correct runs k-mer-spectrum read correction before counting (input
+	// reads are copied, not mutated). SolidThreshold sets the trusted-count
+	// floor (default 3 when zero).
+	Correct        bool
+	SolidThreshold uint32
+	// Scaffold enables stage 3 (greedy overlap scaffolding).
+	Scaffold bool
+	// MinOverlap is the minimum contig overlap stage 3 will join on.
+	MinOverlap int
+}
+
+// DefaultOptions returns a pipeline configuration matching the paper's
+// primary setting (k = 16, no trimming, stages 1-2).
+func DefaultOptions() Options {
+	return Options{K: 16, MinCount: 0, MinOverlap: 12}
+}
+
+func (o Options) validate() error {
+	if o.K < 2 || o.K > kmer.MaxK {
+		return fmt.Errorf("assembly: k=%d outside [2,%d]", o.K, kmer.MaxK)
+	}
+	if o.Scaffold && o.MinOverlap <= 0 {
+		return fmt.Errorf("assembly: scaffolding needs a positive overlap, got %d", o.MinOverlap)
+	}
+	return nil
+}
+
+// StageTimings records wall-clock spent in each software stage.
+type StageTimings struct {
+	Hashmap  time.Duration
+	DeBruijn time.Duration
+	Traverse time.Duration
+	Scaffold time.Duration
+}
+
+// Result is a completed assembly.
+type Result struct {
+	Options  Options
+	Table    *kmer.CountTable
+	Graph    *debruijn.Graph
+	Contigs  []debruijn.Contig
+	Scaffolds []Scaffold
+	// EulerWalk is the Eulerian node walk when one exists (nil otherwise);
+	// contigs never depend on it.
+	EulerWalk []kmer.Kmer
+	Timings   StageTimings
+	Counts    OpCounts
+}
+
+// Assemble runs the software reference pipeline over reads.
+func Assemble(reads []*genome.Sequence, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("assembly: no reads")
+	}
+	res := &Result{Options: opts}
+
+	// Stage 0 (optional): spectrum-based read correction on copies.
+	if opts.Correct {
+		threshold := opts.SolidThreshold
+		if threshold == 0 {
+			threshold = 3
+		}
+		copies := make([]*genome.Sequence, len(reads))
+		for i, r := range reads {
+			copies[i] = r.Subsequence(0, r.Len())
+		}
+		correct.FromReads(copies, opts.K, threshold, 4).CorrectAll(copies)
+		reads = copies
+	}
+
+	// Stage 1: k-mer analysis (Hashmap procedure).
+	start := time.Now()
+	res.Table = kmer.CountReads(reads, opts.K)
+	res.Timings.Hashmap = time.Since(start)
+
+	// Stage 2a: de Bruijn graph construction.
+	start = time.Now()
+	if opts.MinCount > 1 {
+		g := debruijn.NewGraph(opts.K)
+		for _, e := range res.Table.FilterMinCount(opts.MinCount) {
+			g.AddKmer(e.Kmer, e.Count)
+		}
+		res.Graph = g
+	} else {
+		res.Graph = debruijn.Build(res.Table)
+	}
+	if opts.Simplify {
+		res.Graph.Simplify(2*opts.K, 2*opts.K, 10)
+	}
+	res.Timings.DeBruijn = time.Since(start)
+
+	// Stage 2b: traversal and contig emission.
+	start = time.Now()
+	if opts.UseFleury {
+		if walk, err := res.Graph.FleuryPath(); err == nil {
+			res.EulerWalk = walk
+		}
+	} else if walk, err := res.Graph.EulerPath(); err == nil {
+		res.EulerWalk = walk
+	}
+	res.Contigs = res.Graph.Contigs()
+	res.Timings.Traverse = time.Since(start)
+
+	// Stage 3: scaffolding (the paper's future work; our extension).
+	if opts.Scaffold {
+		start = time.Now()
+		res.Scaffolds = ScaffoldContigs(res.Contigs, opts.MinOverlap)
+		res.Timings.Scaffold = time.Since(start)
+	}
+
+	res.Counts = measureCounts(reads, opts.K, res)
+	return res, nil
+}
+
+// measureCounts extracts the operation counts of this run for the
+// analytical models.
+func measureCounts(reads []*genome.Sequence, k int, res *Result) OpCounts {
+	var total int64
+	for _, r := range reads {
+		if r.Len() >= k {
+			total += int64(r.Len() - k + 1)
+		}
+	}
+	probes := res.Table.ProbeOps()
+	avg := 1.0
+	if total > 0 {
+		avg = float64(probes) / float64(total)
+	}
+	return OpCounts{
+		K:             k,
+		ReadCount:     int64(len(reads)),
+		ReadLen:       readLen(reads),
+		TotalKmers:    float64(total),
+		DistinctKmers: float64(res.Table.Len()),
+		AvgProbes:     avg,
+		Nodes:         float64(res.Graph.NumNodes()),
+		Edges:         float64(res.Graph.NumEdges()),
+		CounterBits:   32,
+		DegreeBits:    9,
+	}
+}
+
+func readLen(reads []*genome.Sequence) int {
+	if len(reads) == 0 {
+		return 0
+	}
+	return reads[0].Len()
+}

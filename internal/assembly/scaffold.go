@@ -1,0 +1,113 @@
+package assembly
+
+import (
+	"sort"
+
+	"pimassembler/internal/debruijn"
+	"pimassembler/internal/genome"
+)
+
+// Scaffold is a chain of contigs joined on suffix-prefix overlaps — the
+// stage-3 output. The paper defers scaffolding to future work; this greedy
+// overlap joiner is the repository's implementation of that extension and
+// is excluded from paper-figure comparisons.
+type Scaffold struct {
+	Seq     *genome.Sequence
+	Contigs int // how many contigs were chained
+}
+
+// ScaffoldContigs greedily chains contigs whose suffix overlaps another's
+// prefix by at least minOverlap bases. Each contig is used at most once;
+// longest contigs seed chains first.
+func ScaffoldContigs(contigs []debruijn.Contig, minOverlap int) []Scaffold {
+	if minOverlap <= 0 {
+		panic("assembly: minOverlap must be positive")
+	}
+	// Work on string forms for overlap matching.
+	type piece struct {
+		text string
+		used bool
+	}
+	pieces := make([]piece, len(contigs))
+	for i, c := range contigs {
+		pieces[i] = piece{text: c.Seq.String()}
+	}
+	order := make([]int, len(pieces))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if len(pieces[order[a]].text) != len(pieces[order[b]].text) {
+			return len(pieces[order[a]].text) > len(pieces[order[b]].text)
+		}
+		return pieces[order[a]].text < pieces[order[b]].text
+	})
+
+	overlap := func(a, b string) int {
+		max := len(a)
+		if len(b) < max {
+			max = len(b)
+		}
+		for o := max; o >= minOverlap; o-- {
+			if a[len(a)-o:] == b[:o] {
+				return o
+			}
+		}
+		return 0
+	}
+
+	var scaffolds []Scaffold
+	for _, seed := range order {
+		if pieces[seed].used {
+			continue
+		}
+		pieces[seed].used = true
+		chainText := pieces[seed].text
+		count := 1
+		// Extend right greedily with the largest available overlap.
+		for {
+			best, bestO := -1, 0
+			for _, j := range order {
+				if pieces[j].used {
+					continue
+				}
+				if o := overlap(chainText, pieces[j].text); o > bestO {
+					best, bestO = j, o
+				}
+			}
+			if best < 0 {
+				break
+			}
+			pieces[best].used = true
+			chainText += pieces[best].text[bestO:]
+			count++
+		}
+		// Extend left greedily.
+		for {
+			best, bestO := -1, 0
+			for _, j := range order {
+				if pieces[j].used {
+					continue
+				}
+				if o := overlap(pieces[j].text, chainText); o > bestO {
+					best, bestO = j, o
+				}
+			}
+			if best < 0 {
+				break
+			}
+			pieces[best].used = true
+			chainText = pieces[best].text[:len(pieces[best].text)-bestO] + chainText
+			count++
+		}
+		scaffolds = append(scaffolds, Scaffold{Seq: genome.MustFromString(chainText), Contigs: count})
+	}
+	sort.Slice(scaffolds, func(a, b int) bool {
+		la, lb := scaffolds[a].Seq.Len(), scaffolds[b].Seq.Len()
+		if la != lb {
+			return la > lb
+		}
+		return scaffolds[a].Seq.String() < scaffolds[b].Seq.String()
+	})
+	return scaffolds
+}

@@ -1,0 +1,56 @@
+package bitvec
+
+import (
+	"testing"
+
+	"pimassembler/internal/stats"
+)
+
+func benchVectors(b *testing.B, n int) (*Vector, *Vector, *Vector) {
+	b.Helper()
+	rng := stats.NewRNG(1)
+	a, c := New(n), New(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, rng.Float64() < 0.5)
+		c.Set(i, rng.Float64() < 0.5)
+	}
+	return a, c, New(n)
+}
+
+func BenchmarkXnor256(b *testing.B) {
+	x, y, dst := benchVectors(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Xnor(x, y)
+	}
+}
+
+func BenchmarkMaj3_256(b *testing.B) {
+	x, y, dst := benchVectors(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Maj3(x, y, x)
+	}
+}
+
+func BenchmarkPopCount256(b *testing.B) {
+	x, _, _ := benchVectors(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.PopCount() < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkAllOnes256(b *testing.B) {
+	x := New(256)
+	x.Fill(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.AllOnes() {
+			b.Fatal("impossible")
+		}
+	}
+}

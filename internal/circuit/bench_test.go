@@ -1,0 +1,31 @@
+package circuit
+
+import (
+	"testing"
+
+	"pimassembler/internal/stats"
+)
+
+func BenchmarkSenseXNOR(b *testing.B) {
+	sa := NewSenseAmp()
+	for i := 0; i < b.N; i++ {
+		sa.SenseXNOR(i&1 != 0, i&2 != 0)
+	}
+}
+
+func BenchmarkTransientXNOR2(b *testing.B) {
+	cfg := DefaultTransientConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SimulateXNOR2(cfg, true, false)
+	}
+}
+
+func BenchmarkMonteCarloTrial(b *testing.B) {
+	m := DefaultVariationModel()
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MonteCarlo(1, 0.15, rng)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"pimassembler/internal/bitvec"
+)
+
+// Bulk bit-wise operations: the §II-B workload. A bulk operand is split into
+// row-sized chunks distributed round-robin over sub-arrays; every chunk is
+// staged through the memory path, computed with the in-memory primitive, and
+// read back. Per the paper's software-support rule, operand sizes must be a
+// multiple of the DRAM row size — BulkPad applies the dummy-data padding the
+// paper requires otherwise.
+
+// BulkPad returns n rounded up to the next multiple of the row size, the
+// padding rule of the AAP instruction set ("the application must pad it
+// with dummy data").
+func (p *Platform) BulkPad(nBits int) int {
+	row := p.geom.RowBits()
+	return (nBits + row - 1) / row * row
+}
+
+// BulkXNOR computes the elementwise XNOR of two equal-length bit vectors on
+// the functional sub-arrays and returns the result. Operand length must be
+// a multiple of the row size (use BulkPad).
+func (p *Platform) BulkXNOR(a, b *bitvec.Vector) *bitvec.Vector {
+	p.checkBulk(a, b)
+	row := p.geom.RowBits()
+	out := bitvec.New(a.Len())
+	lay := p.layout
+	for chunk := 0; chunk*row < a.Len(); chunk++ {
+		s := p.Subarray(chunk % p.geom.ActiveSubarrays())
+		ra, rb, rOut := lay.ReservedBase(), lay.ReservedBase()+1, lay.ReservedBase()+2
+		s.Write(ra, slice(a, chunk*row, row))
+		s.Write(rb, slice(b, chunk*row, row))
+		s.XNOR(ra, rb, rOut)
+		res := s.Read(rOut)
+		for i := 0; i < row; i++ {
+			out.Set(chunk*row+i, res.Get(i))
+		}
+	}
+	return out
+}
+
+// BulkAdd computes the elementwise sum of two vectors of elemBits-wide lanes
+// stored bit-planar: a and b are slices of bit-plane vectors (length
+// elemBits, each a multiple of the row size long). The result has
+// elemBits+1 planes.
+func (p *Platform) BulkAdd(a, b []*bitvec.Vector) []*bitvec.Vector {
+	if len(a) == 0 || len(a) != len(b) {
+		panic(fmt.Sprintf("core: BulkAdd needs equal non-empty plane counts, got %d and %d", len(a), len(b)))
+	}
+	for i := range a {
+		p.checkBulk(a[i], b[i])
+	}
+	m := len(a)
+	row := p.geom.RowBits()
+	n := a[0].Len()
+	out := make([]*bitvec.Vector, m+1)
+	for i := range out {
+		out[i] = bitvec.New(n)
+	}
+	for chunk := 0; chunk*row < n; chunk++ {
+		s := p.Subarray(chunk % p.geom.ActiveSubarrays())
+		// The reserved region is too small for 3m+1 rows; bulk mode owns
+		// the whole sub-array, so stage operands in the data-row space.
+		aBase, bBase, dBase, carry := 0, m, 2*m, 3*m+2
+		for i := 0; i < m; i++ {
+			s.Write(aBase+i, slice(a[i], chunk*row, row))
+			s.Write(bBase+i, slice(b[i], chunk*row, row))
+		}
+		s.BitSerialAdd(aBase, bBase, dBase, carry, m)
+		for i := 0; i <= m; i++ {
+			res := s.Read(dBase + i)
+			for j := 0; j < row; j++ {
+				out[i].Set(chunk*row+j, res.Get(j))
+			}
+		}
+	}
+	return out
+}
+
+func (p *Platform) checkBulk(a, b *bitvec.Vector) {
+	if a.Len() != b.Len() {
+		panic(fmt.Sprintf("core: bulk operand lengths differ: %d vs %d", a.Len(), b.Len()))
+	}
+	if a.Len()%p.geom.RowBits() != 0 {
+		panic(fmt.Sprintf("core: bulk operand length %d not a multiple of the %d-bit row; apply BulkPad",
+			a.Len(), p.geom.RowBits()))
+	}
+}
+
+// slice copies width bits starting at from into a fresh row vector.
+func slice(v *bitvec.Vector, from, width int) *bitvec.Vector {
+	out := bitvec.New(width)
+	for i := 0; i < width; i++ {
+		out.Set(i, v.Get(from+i))
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pimassembler/internal/bitvec"
+	"pimassembler/internal/dram"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+	"pimassembler/internal/stats"
+)
+
+func TestNewPlatformValidates(t *testing.T) {
+	g := dram.Default()
+	g.ActiveBanks = 0
+	if _, err := NewPlatform(g, dram.DefaultTiming(), dram.DefaultEnergy()); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	tm := dram.DefaultTiming()
+	tm.TRAS = 1
+	if _, err := NewPlatform(dram.Default(), tm, dram.DefaultEnergy()); err == nil {
+		t.Fatal("invalid timing accepted")
+	}
+}
+
+func TestPlatformLazySubarrays(t *testing.T) {
+	p := NewDefaultPlatform()
+	if p.MaterializedSubarrays() != 0 {
+		t.Fatal("fresh platform has materialised sub-arrays")
+	}
+	s1 := p.Subarray(5)
+	s2 := p.Subarray(5)
+	if s1 != s2 {
+		t.Fatal("Subarray not idempotent")
+	}
+	if p.MaterializedSubarrays() != 1 {
+		t.Fatal("materialisation count wrong")
+	}
+	p.Reset()
+	if p.MaterializedSubarrays() != 0 || p.Meter().TotalCommands() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestPlatformSubarrayRangePanic(t *testing.T) {
+	p := NewDefaultPlatform()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Subarray(p.Geometry().TotalSubarrays())
+}
+
+func TestHashTableMatchesSoftwareReference(t *testing.T) {
+	p := NewDefaultPlatform()
+	rng := stats.NewRNG(42)
+	g := genome.GenerateGenome(600, rng)
+	reads := genome.TilingReads(g, 60, 30)
+	k := 13
+
+	pim := NewHashTable(p, k, 4)
+	ref := kmer.NewCountTable(k, 1024)
+	for _, r := range reads {
+		kmer.Iterate(r, k, func(km kmer.Kmer) {
+			if _, err := pim.Add(km); err != nil {
+				t.Fatal(err)
+			}
+			ref.Add(km)
+		})
+	}
+	if pim.Len() != ref.Len() {
+		t.Fatalf("distinct: PIM %d, reference %d", pim.Len(), ref.Len())
+	}
+	// Entries read back from DRAM rows must match the software table.
+	pimEntries := pim.Entries()
+	refEntries := ref.Entries()
+	if len(pimEntries) != len(refEntries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(pimEntries), len(refEntries))
+	}
+	for i := range refEntries {
+		if pimEntries[i].Kmer != refEntries[i].Kmer {
+			t.Fatalf("entry %d k-mer mismatch: %v vs %v", i, pimEntries[i].Kmer, refEntries[i].Kmer)
+		}
+		if pimEntries[i].Count != refEntries[i].Count {
+			t.Fatalf("entry %d (%s) count %d, want %d",
+				i, refEntries[i].Kmer.String(k), pimEntries[i].Count, refEntries[i].Count)
+		}
+	}
+}
+
+func TestHashTableCount(t *testing.T) {
+	p := NewDefaultPlatform()
+	tbl := NewHashTable(p, 8, 2)
+	km := kmer.MustParse("ACGTACGT")
+	if got := tbl.Count(km); got != 0 {
+		t.Fatalf("absent count %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := tbl.Add(km); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tbl.Count(km); got != 5 {
+		t.Fatalf("count %d, want 5", got)
+	}
+}
+
+func TestHashTableInsertedFlag(t *testing.T) {
+	p := NewDefaultPlatform()
+	tbl := NewHashTable(p, 6, 1)
+	km := kmer.MustParse("ACGTAC")
+	ins, err := tbl.Add(km)
+	if err != nil || !ins {
+		t.Fatalf("first Add: inserted=%v err=%v", ins, err)
+	}
+	ins, err = tbl.Add(km)
+	if err != nil || ins {
+		t.Fatalf("second Add: inserted=%v err=%v", ins, err)
+	}
+}
+
+func TestHashTableUsesPIMOps(t *testing.T) {
+	p := NewDefaultPlatform()
+	tbl := NewHashTable(p, 10, 1)
+	rng := stats.NewRNG(7)
+	for i := 0; i < 50; i++ {
+		if _, err := tbl.Add(kmer.Kmer(rng.Uint64()) & kmer.Kmer(kmer.Mask(10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tbl.Stats()
+	if st.XNOROps == 0 {
+		t.Error("no PIM_XNOR issued: comparisons must be in-memory")
+	}
+	if st.AddAAPs == 0 {
+		t.Error("no TRA issued: counter increments must be in-memory")
+	}
+	if st.CopyAAPs == 0 {
+		t.Error("no RowClone issued: staging must be in-memory")
+	}
+	if st.DPUOps == 0 {
+		t.Error("no DPU reductions issued: match detection must be metered")
+	}
+}
+
+func TestHashTablePanics(t *testing.T) {
+	p := NewDefaultPlatform()
+	for _, f := range []func(){
+		func() { NewHashTable(p, 0, 1) },
+		func() { NewHashTable(p, 33, 1) },
+		func() { NewHashTable(p, 8, 0) },
+		func() { NewHashTable(p, 8, p.Geometry().TotalSubarrays()+1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHashTableFull(t *testing.T) {
+	// Shrink the geometry so the k-mer region is tiny and fills up.
+	g := dram.Default()
+	g.RowsPerSubarray = 64 // data rows 56; k-mer region 56-48 = 8
+	p, err := NewPlatform(g, dram.DefaultTiming(), dram.DefaultEnergy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewHashTable(p, 8, 1)
+	rng := stats.NewRNG(3)
+	sawFull := false
+	for i := 0; i < 1000; i++ {
+		if _, err := tbl.Add(kmer.Kmer(rng.Uint64()) & kmer.Kmer(kmer.Mask(8))); err != nil {
+			if !errors.Is(err, ErrTableFull) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("tiny table never filled")
+	}
+}
+
+func TestBulkPad(t *testing.T) {
+	p := NewDefaultPlatform()
+	row := p.Geometry().RowBits()
+	if p.BulkPad(1) != row || p.BulkPad(row) != row || p.BulkPad(row+1) != 2*row {
+		t.Fatal("padding rule broken")
+	}
+}
+
+func TestBulkXNORFunctional(t *testing.T) {
+	p := NewDefaultPlatform()
+	rng := stats.NewRNG(5)
+	n := p.BulkPad(1000)
+	a, b := bitvec.New(n), bitvec.New(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, rng.Float64() < 0.5)
+		b.Set(i, rng.Float64() < 0.5)
+	}
+	got := p.BulkXNOR(a, b)
+	want := bitvec.New(n)
+	want.Xnor(a, b)
+	if !got.Equal(want) {
+		t.Fatal("bulk XNOR mismatch")
+	}
+}
+
+func TestBulkXNORRejectsUnpadded(t *testing.T) {
+	p := NewDefaultPlatform()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unpadded operand accepted")
+		}
+	}()
+	p.BulkXNOR(bitvec.New(100), bitvec.New(100))
+}
+
+func TestBulkAddFunctional(t *testing.T) {
+	p := NewDefaultPlatform()
+	rng := stats.NewRNG(6)
+	const m = 6
+	lanes := p.BulkPad(512)
+	a := make([]*bitvec.Vector, m)
+	b := make([]*bitvec.Vector, m)
+	av := make([]uint64, lanes)
+	bv := make([]uint64, lanes)
+	for i := range av {
+		av[i] = rng.Uint64() & (1<<m - 1)
+		bv[i] = rng.Uint64() & (1<<m - 1)
+	}
+	for bit := 0; bit < m; bit++ {
+		a[bit] = bitvec.New(lanes)
+		b[bit] = bitvec.New(lanes)
+		for lane := 0; lane < lanes; lane++ {
+			a[bit].Set(lane, av[lane]&(1<<uint(bit)) != 0)
+			b[bit].Set(lane, bv[lane]&(1<<uint(bit)) != 0)
+		}
+	}
+	sum := p.BulkAdd(a, b)
+	if len(sum) != m+1 {
+		t.Fatalf("result planes %d, want %d", len(sum), m+1)
+	}
+	for lane := 0; lane < lanes; lane++ {
+		var got uint64
+		for bit := 0; bit <= m; bit++ {
+			if sum[bit].Get(lane) {
+				got |= 1 << uint(bit)
+			}
+		}
+		if got != av[lane]+bv[lane] {
+			t.Fatalf("lane %d: %d + %d = %d", lane, av[lane], bv[lane], got)
+		}
+	}
+}

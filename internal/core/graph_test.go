@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"pimassembler/internal/debruijn"
+	"pimassembler/internal/dram"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+	"pimassembler/internal/stats"
+)
+
+func buildGraph(t *testing.T, seed uint64, genomeLen, k int) *debruijn.Graph {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	g := genome.GenerateGenome(genomeLen, rng)
+	tbl := kmer.NewCountTable(k, genomeLen)
+	kmer.Iterate(g, k, func(km kmer.Kmer) { tbl.Add(km) })
+	return debruijn.Build(tbl)
+}
+
+func TestGraphEngineDegreesMatchSoftware(t *testing.T) {
+	p := NewDefaultPlatform()
+	// ~300 nodes spans two 256-lane intervals, exercising multi-block
+	// placement and the controller merge.
+	g := buildGraph(t, 9, 300, 9)
+	e := NewGraphEngine(p, g, 0)
+	if e.Groups() < 2 {
+		t.Fatalf("expected >=2 intervals for %d nodes", g.NumNodes())
+	}
+	in, out := e.Degrees()
+	for i, n := range g.Nodes() {
+		if in[i] != g.InDegree(n) {
+			t.Fatalf("node %v in-degree %d, want %d", n, in[i], g.InDegree(n))
+		}
+		if out[i] != g.OutDegree(n) {
+			t.Fatalf("node %v out-degree %d, want %d", n, out[i], g.OutDegree(n))
+		}
+	}
+}
+
+func TestGraphEngineStartVertex(t *testing.T) {
+	p := NewDefaultPlatform()
+	// A linear chain has a unique start vertex.
+	s := genome.MustFromString("ACGTTGCA")
+	tbl := kmer.NewCountTable(4, 8)
+	kmer.Iterate(s, 4, func(km kmer.Kmer) { tbl.Add(km) })
+	g := debruijn.Build(tbl)
+	e := NewGraphEngine(p, g, 0)
+	start, err := e.StartVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, want := g.Balance()
+	if class != debruijn.BalancePath {
+		t.Fatalf("expected a path graph, got %v", class)
+	}
+	if start != want {
+		t.Fatalf("start %v, want %v", start, want)
+	}
+}
+
+func TestGraphEngineEulerPath(t *testing.T) {
+	p := NewDefaultPlatform()
+	g := buildGraph(t, 21, 90, 10)
+	e := NewGraphEngine(p, g, 0)
+	walk, err := e.EulerPath()
+	if err != nil {
+		// Random genomes may repeat k-mers and be non-Eulerian; regenerate
+		// with another seed in that case. Seed 21 at k=10 is Eulerian, so
+		// reaching here is a real failure.
+		t.Fatal(err)
+	}
+	if err := g.ValidateWalk(walk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphEngineUsesPIMAdds(t *testing.T) {
+	p := NewDefaultPlatform()
+	g := buildGraph(t, 5, 120, 8)
+	e := NewGraphEngine(p, g, 0)
+	p.Meter().Reset()
+	e.Degrees()
+	m := p.Meter()
+	if m.Counts[dram.CmdAAP3] == 0 {
+		t.Error("degree reduction issued no TRA carries: PIM_Add must run in memory")
+	}
+	if m.Counts[dram.CmdAAP2] == 0 {
+		t.Error("degree reduction issued no two-row AAPs: CSA sums must run in memory")
+	}
+}
+
+func TestGraphEngineAllocationFormula(t *testing.T) {
+	p := NewDefaultPlatform()
+	g := buildGraph(t, 13, 300, 9)
+	e := NewGraphEngine(p, g, 0)
+	n := g.NumNodes()
+	want := (n + 255) / 256 // f = min(1024, 256) = 256
+	if got := e.SubarraysNeeded(); got != want {
+		t.Fatalf("Ns = %d, want ceil(%d/256) = %d", got, n, want)
+	}
+}

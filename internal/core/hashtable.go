@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pimassembler/internal/bitvec"
+	"pimassembler/internal/dram"
+	"pimassembler/internal/kmer"
+	"pimassembler/internal/mapping"
+	"pimassembler/internal/subarray"
+)
+
+// ErrTableFull reports that a sub-array's k-mer region has no free slot left
+// on the probe path.
+var ErrTableFull = errors.New("core: sub-array k-mer region full")
+
+// OpProfile selects how the hash table's row comparisons execute.
+type OpProfile int
+
+const (
+	// OpsNative uses the paper's single-cycle two-row XNOR (3 command
+	// slots staged).
+	OpsNative OpProfile = iota
+	// OpsMajorityEmulated uses the Ambit-style majority/NOT composition
+	// (18 command slots) — the baseline-emulation mode for end-to-end
+	// functional cost comparison.
+	OpsMajorityEmulated
+)
+
+// HashTable is the PIM-mapped k-mer hash table of Fig. 6: each k-mer lives
+// in one row of its home sub-array's k-mer region, its frequency counter in
+// the value region (bit-planar, one lane per slot), and queries stage
+// through the temp region. Lookups are in-memory row comparisons
+// (PIM_XNOR + DPU match), counter updates are in-memory ripple increments
+// (PIM_Add), and inserts are RowClones from the temp row (MEM_insert).
+//
+// The controller tracks slot occupancy — hardware keeps that in the Ctrl's
+// SRAM bitmap; the k-mer *values* live only in DRAM rows and every
+// comparison really reads them from the functional sub-array.
+type HashTable struct {
+	platform *Platform
+	k        int
+	base     int // first sub-array index of the table's region
+	ops      OpProfile
+	place    mapping.HashPlacement
+	occupied map[int][]bool // sub-array (region-relative) -> slot occupancy
+	distinct int
+}
+
+// SetOpProfile switches the comparison implementation (default OpsNative).
+// Call before the first Add; mixing profiles mid-run is allowed but makes
+// cost comparisons meaningless.
+func (t *HashTable) SetOpProfile(p OpProfile) { t.ops = p }
+
+// compare runs the profile's XNOR into dst.
+func (t *HashTable) compare(s *subarray.Subarray, queryRow, entryRow, dst int) {
+	if t.ops == OpsMajorityEmulated {
+		s.XNOREmulatedTRA(queryRow, entryRow, dst)
+		return
+	}
+	s.XNOR(queryRow, entryRow, dst)
+}
+
+// NewHashTable creates a PIM hash table over sub-arrays [0, nSubarrays) of
+// the platform (use a small number for functional runs; the analytical
+// model scales to the full geometry).
+func NewHashTable(p *Platform, k, nSubarrays int) *HashTable {
+	return NewHashTableAt(p, k, 0, nSubarrays)
+}
+
+// NewHashTableAt places the table's region at sub-arrays
+// [base, base+nSubarrays), letting it coexist with a SequenceBank or graph
+// blocks on the same platform.
+func NewHashTableAt(p *Platform, k, base, nSubarrays int) *HashTable {
+	if k <= 0 || k > kmer.MaxK {
+		panic(fmt.Sprintf("core: k=%d outside [1,%d]", k, kmer.MaxK))
+	}
+	if 2*k > p.layout.Cols {
+		panic(fmt.Sprintf("core: %d-mer does not fit a %d-bit row", k, p.layout.Cols))
+	}
+	if base < 0 || nSubarrays <= 0 || base+nSubarrays > p.geom.TotalSubarrays() {
+		panic(fmt.Sprintf("core: table region [%d,%d) outside the geometry", base, base+nSubarrays))
+	}
+	return &HashTable{
+		platform: p,
+		k:        k,
+		base:     base,
+		place:    mapping.NewHashPlacement(nSubarrays, p.layout),
+		occupied: make(map[int][]bool),
+	}
+}
+
+// K returns the k-mer length.
+func (t *HashTable) K() int { return t.k }
+
+// Len returns the number of distinct k-mers stored.
+func (t *HashTable) Len() int { return t.distinct }
+
+// encodeRow packs a k-mer into a full row vector (2k bits of payload,
+// zero-padded) so whole-row XNOR comparison is exact.
+func (t *HashTable) encodeRow(km kmer.Kmer) *bitvec.Vector {
+	v := bitvec.New(t.platform.layout.Cols)
+	v.SetUint64(0, 2*t.k, uint64(km))
+	return v
+}
+
+// decodeRow unpacks a k-mer from a stored row.
+func (t *HashTable) decodeRow(v *bitvec.Vector) kmer.Kmer {
+	return kmer.Kmer(v.Uint64(0, 2*t.k))
+}
+
+func (t *HashTable) bitmap(sub int) []bool {
+	bm, ok := t.occupied[sub]
+	if !ok {
+		bm = make([]bool, t.platform.layout.KmerRows)
+		t.occupied[sub] = bm
+	}
+	return bm
+}
+
+// Add runs one iteration of the reconstructed Hashmap procedure (Fig. 5b):
+// stage the query in the temp region, probe stored rows with PIM_XNOR until
+// a match or a free slot, then either PIM_Add the frequency or MEM_insert
+// the new entry with frequency 1. It reports whether the k-mer was newly
+// inserted.
+func (t *HashTable) Add(km kmer.Kmer) (inserted bool, err error) {
+	lay := t.platform.layout
+	subIdx, home := t.place.Place(km)
+	s := t.platform.Subarray(t.base + subIdx)
+	bm := t.bitmap(subIdx)
+
+	tempQuery := lay.TempBase()      // temp row 0: the staged query
+	tempOneHot := lay.TempBase() + 1 // temp row 1: one-hot increment lane
+	xnorOut := lay.ReservedBase()   // reserved row 0: comparison result
+
+	s.Write(tempQuery, t.encodeRow(km))
+
+	for probe := 0; probe < lay.KmerRows; probe++ {
+		slot := (home + probe) % lay.KmerRows
+		row := lay.KmerRow(slot)
+		if !bm[slot] {
+			// MEM_insert(k_mer, 1): clone the staged query into the free
+			// row and increment the zeroed counter lane to 1.
+			s.RowClone(tempQuery, row)
+			bm[slot] = true
+			t.distinct++
+			t.incrementCounter(s, slot, tempOneHot)
+			return true, nil
+		}
+		// PIM_XNOR(k_mer, Hmap): whole-row compare + DPU AND reduction.
+		t.compare(s, tempQuery, row, xnorOut)
+		if s.MatchAllOnes(xnorOut) {
+			// New_freq = PIM_Add(k_mer, 1); MEM_insert(k_mer, New_freq):
+			// the in-memory increment writes the updated counter bits back
+			// without the value ever leaving the sub-array.
+			t.incrementCounter(s, slot, tempOneHot)
+			return false, nil
+		}
+	}
+	return false, fmt.Errorf("%w: sub-array %d (k=%d)", ErrTableFull, subIdx, t.k)
+}
+
+// incrementCounter bumps the frequency lane of a slot via the in-memory
+// ripple increment.
+func (t *HashTable) incrementCounter(s *subarray.Subarray, slot, oneHotRow int) {
+	lay := t.platform.layout
+	base, lane := lay.CounterLocation(slot)
+	oneHot := bitvec.New(lay.Cols)
+	oneHot.Set(lane, true)
+	s.Write(oneHotRow, oneHot)
+	counterRows := make([]int, lay.CounterBits)
+	for i := range counterRows {
+		counterRows[i] = base + i
+	}
+	resv := lay.ReservedBase()
+	s.RippleIncrement(counterRows, oneHotRow, resv+1, resv+2, resv+3)
+}
+
+// Count probes for km and returns its stored frequency (0 if absent). The
+// probe path is identical to Add's; reading the counter lane issues one
+// memory Read per counter bit-plane row.
+func (t *HashTable) Count(km kmer.Kmer) uint32 {
+	lay := t.platform.layout
+	subIdx, home := t.place.Place(km)
+	s := t.platform.Subarray(t.base + subIdx)
+	bm := t.bitmap(subIdx)
+
+	tempQuery := lay.TempBase()
+	xnorOut := lay.ReservedBase()
+	s.Write(tempQuery, t.encodeRow(km))
+
+	for probe := 0; probe < lay.KmerRows; probe++ {
+		slot := (home + probe) % lay.KmerRows
+		if !bm[slot] {
+			return 0
+		}
+		t.compare(s, tempQuery, lay.KmerRow(slot), xnorOut)
+		if s.MatchAllOnes(xnorOut) {
+			return t.readCounter(s, slot)
+		}
+	}
+	return 0
+}
+
+// readCounter reads a slot's frequency lane through the memory path.
+func (t *HashTable) readCounter(s *subarray.Subarray, slot int) uint32 {
+	lay := t.platform.layout
+	base, lane := lay.CounterLocation(slot)
+	var c uint32
+	for bit := 0; bit < lay.CounterBits; bit++ {
+		if s.Read(base + bit).Get(lane) {
+			c |= 1 << uint(bit)
+		}
+	}
+	return c
+}
+
+// Entries reads every stored (k-mer, count) pair back through the memory
+// path, sorted by k-mer — used to hand the table to graph construction and
+// to cross-check against the software reference.
+func (t *HashTable) Entries() []kmer.Entry {
+	var out []kmer.Entry
+	subs := make([]int, 0, len(t.occupied))
+	for subIdx := range t.occupied {
+		subs = append(subs, subIdx)
+	}
+	sort.Ints(subs)
+	for _, subIdx := range subs {
+		s := t.platform.Subarray(t.base + subIdx)
+		for slot, used := range t.occupied[subIdx] {
+			if !used {
+				continue
+			}
+			km := t.decodeRow(s.Read(t.platform.layout.KmerRow(slot)))
+			out = append(out, kmer.Entry{Kmer: km, Count: t.readCounter(s, slot)})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Kmer < out[b].Kmer })
+	return out
+}
+
+// Stats summarises the table's footprint and command mix.
+type Stats struct {
+	Distinct   int
+	Subarrays  int
+	XNOROps    int64
+	AddAAPs    int64
+	CopyAAPs   int64
+	DPUOps     int64
+}
+
+// Stats reports footprint and operation counts from the platform meter.
+func (t *HashTable) Stats() Stats {
+	m := t.platform.meter
+	return Stats{
+		Distinct:  t.distinct,
+		Subarrays: len(t.occupied),
+		XNOROps:   m.Counts[dram.CmdAAP2],
+		AddAAPs:   m.Counts[dram.CmdAAP3],
+		CopyAAPs:  m.Counts[dram.CmdAAPCopy],
+		DPUOps:    m.Counts[dram.CmdDPU],
+	}
+}

@@ -1,0 +1,137 @@
+// Package core is PIM-Assembler's public surface: the Platform ties the
+// DRAM organisation, the functional computational sub-arrays, and the data
+// mapping together, and exposes the three controller-level operations the
+// paper's reconstructed algorithms are written in — PIM_XNOR (bulk row
+// comparison), PIM_Add (bit-serial in-memory addition/increment), and
+// MEM_insert (row write/copy) — plus the PIM-mapped k-mer hash table and
+// de Bruijn graph engine built from them.
+package core
+
+import (
+	"fmt"
+
+	"pimassembler/internal/dram"
+	"pimassembler/internal/mapping"
+	"pimassembler/internal/sched"
+	"pimassembler/internal/subarray"
+)
+
+// Platform is one PIM-Assembler memory group under a single controller.
+//
+// Sub-arrays are materialised lazily: a functional run touches only the
+// sub-arrays its data maps to, while the geometry may describe thousands.
+// The shared Meter accumulates the command stream of every sub-array; its
+// latency is the *serial* command-slot total — the analytical layer
+// (internal/perfmodel) divides by the exploitable parallelism.
+type Platform struct {
+	geom   dram.Geometry
+	timing dram.Timing
+	energy dram.Energy
+	layout mapping.Layout
+
+	subs  map[int]*subarray.Subarray
+	meter *dram.Meter
+	fault subarray.FaultHook
+}
+
+// NewPlatform builds a platform from explicit models.
+func NewPlatform(g dram.Geometry, t dram.Timing, e dram.Energy) (*Platform, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	layout := mapping.DefaultLayout(g)
+	if err := layout.Validate(g); err != nil {
+		return nil, err
+	}
+	return &Platform{
+		geom:   g,
+		timing: t,
+		energy: e,
+		layout: layout,
+		subs:   make(map[int]*subarray.Subarray),
+		meter:  dram.NewMeter(t, e),
+	}, nil
+}
+
+// NewDefaultPlatform builds the paper's §IV configuration.
+func NewDefaultPlatform() *Platform {
+	p, err := NewPlatform(dram.Default(), dram.DefaultTiming(), dram.DefaultEnergy())
+	if err != nil {
+		panic(err) // defaults are validated by construction
+	}
+	return p
+}
+
+// Geometry returns the platform's memory organisation.
+func (p *Platform) Geometry() dram.Geometry { return p.geom }
+
+// Timing returns the platform's timing model.
+func (p *Platform) Timing() dram.Timing { return p.timing }
+
+// Energy returns the platform's energy model.
+func (p *Platform) Energy() dram.Energy { return p.energy }
+
+// Layout returns the hash-table region layout.
+func (p *Platform) Layout() mapping.Layout { return p.layout }
+
+// Meter returns the shared command meter.
+func (p *Platform) Meter() *dram.Meter { return p.meter }
+
+// Subarray returns sub-array i, materialising it on first use.
+func (p *Platform) Subarray(i int) *subarray.Subarray {
+	if i < 0 || i >= p.geom.TotalSubarrays() {
+		panic(fmt.Sprintf("core: sub-array %d outside [0,%d)", i, p.geom.TotalSubarrays()))
+	}
+	s, ok := p.subs[i]
+	if !ok {
+		s = subarray.New(p.geom, p.meter)
+		s.SetFaultHook(p.fault)
+		p.subs[i] = s
+	}
+	return s
+}
+
+// SetFaultHook installs a fault-injection hook on every sub-array the
+// platform has materialised and every one it materialises later (nil
+// clears). See internal/fault for rate-driven injectors.
+func (p *Platform) SetFaultHook(h subarray.FaultHook) {
+	p.fault = h
+	for _, s := range p.subs {
+		s.SetFaultHook(h)
+	}
+}
+
+// MaterializedSubarrays returns how many sub-arrays a run has touched.
+func (p *Platform) MaterializedSubarrays() int { return len(p.subs) }
+
+// Reset clears all sub-array state and the meter.
+func (p *Platform) Reset() {
+	p.subs = make(map[int]*subarray.Subarray)
+	p.meter.Reset()
+}
+
+// String summarises the platform.
+func (p *Platform) String() string {
+	return fmt.Sprintf("core.Platform{%v, touched=%d}", p.geom, len(p.subs))
+}
+
+// ParallelEstimate converts the meter's accumulated command counts into a
+// scheduled parallel makespan: the counts are spread round-robin over the
+// sub-arrays this run touched and pushed through the controller's command
+// scheduler (shared bus + per-bank activation budget). It is an estimate —
+// the meter does not record per-command sub-array attribution — but it
+// bounds how much of the serial command time real hardware would overlap.
+func (p *Platform) ParallelEstimate() sched.Result {
+	n := len(p.subs)
+	if n == 0 {
+		n = 1
+	}
+	trace := sched.RoundRobinTrace(p.meter.Counts, n)
+	return sched.Schedule(trace, sched.DefaultConfig(p.geom, p.timing))
+}

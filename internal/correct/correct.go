@@ -1,0 +1,172 @@
+// Package correct implements k-mer-spectrum read correction — the
+// pre-assembly cleanup pass (in the spirit of Velvet/SPAdes pipelines) that
+// repairs likely sequencing errors before k-mer counting: a substitution
+// error turns up to k covering k-mers from "solid" (frequent) to "weak"
+// (rare); replacing the base with the alternative that restores solidity
+// removes the error without discarding the read.
+package correct
+
+import (
+	"fmt"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+)
+
+// Corrector holds the k-mer spectrum and correction policy.
+type Corrector struct {
+	table *kmer.CountTable
+	k     int
+	// SolidThreshold is the minimum count for a k-mer to be trusted.
+	SolidThreshold uint32
+	// MaxCorrections bounds edits per read (reads needing more are left
+	// unchanged — they are better handled by graph simplification).
+	MaxCorrections int
+}
+
+// New builds a corrector from a counted spectrum.
+func New(table *kmer.CountTable, solidThreshold uint32, maxCorrections int) *Corrector {
+	if solidThreshold == 0 {
+		panic("correct: solid threshold must be positive")
+	}
+	if maxCorrections <= 0 {
+		panic(fmt.Sprintf("correct: max corrections %d must be positive", maxCorrections))
+	}
+	return &Corrector{
+		table:          table,
+		k:              table.K(),
+		SolidThreshold: solidThreshold,
+		MaxCorrections: maxCorrections,
+	}
+}
+
+// Stats summarises a correction run.
+type Stats struct {
+	Reads       int
+	Corrected   int // reads with at least one repair
+	Edits       int // total base repairs
+	Unrepairable int // reads left with weak k-mers
+}
+
+// solid reports whether a k-mer is trusted.
+func (c *Corrector) solid(km kmer.Kmer) bool {
+	return c.table.Count(km) >= c.SolidThreshold
+}
+
+// weakPositions returns the base positions covered by at least one weak
+// k-mer (nil when the read is clean or too short).
+func (c *Corrector) weakPositions(read *genome.Sequence) []bool {
+	if read.Len() < c.k {
+		return nil
+	}
+	weak := make([]bool, read.Len())
+	any := false
+	pos := 0
+	kmer.Iterate(read, c.k, func(km kmer.Kmer) {
+		if !c.solid(km) {
+			for i := pos; i < pos+c.k; i++ {
+				weak[i] = true
+			}
+			any = true
+		}
+		pos++
+	})
+	if !any {
+		return nil
+	}
+	return weak
+}
+
+// CorrectRead repairs a single read in place, returning the number of edits
+// applied. The heuristic: while weak k-mers remain (and the edit budget
+// holds), pick the position where the most weak windows overlap, try the
+// three alternative bases, and keep the one that maximises the number of
+// solid covering k-mers; stop when no substitution improves.
+func (c *Corrector) CorrectRead(read *genome.Sequence) int {
+	edits := 0
+	for edits < c.MaxCorrections {
+		if c.weakPositions(read) == nil {
+			return edits
+		}
+		pos := c.pickPosition(read)
+		if pos < 0 {
+			return edits
+		}
+		base := read.Base(pos)
+		bestBase, bestScore := base, c.solidAround(read, pos)
+		for d := 1; d < 4; d++ {
+			candidate := genome.Base((int(base) + d) % 4)
+			read.SetBase(pos, candidate)
+			if s := c.solidAround(read, pos); s > bestScore {
+				bestBase, bestScore = candidate, s
+			}
+		}
+		read.SetBase(pos, bestBase)
+		if bestBase == base {
+			return edits // no improvement possible at the hot spot
+		}
+		edits++
+	}
+	return edits
+}
+
+// pickPosition returns the base position covered by the most weak k-mers.
+func (c *Corrector) pickPosition(read *genome.Sequence) int {
+	votes := make([]int, read.Len())
+	pos := 0
+	kmer.Iterate(read, c.k, func(km kmer.Kmer) {
+		if !c.solid(km) {
+			for i := pos; i < pos+c.k; i++ {
+				votes[i]++
+			}
+		}
+		pos++
+	})
+	best, bestV := -1, 0
+	for i, v := range votes {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// solidAround counts solid k-mers among the windows covering position pos.
+func (c *Corrector) solidAround(read *genome.Sequence, pos int) int {
+	lo := pos - c.k + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pos
+	if hi > read.Len()-c.k {
+		hi = read.Len() - c.k
+	}
+	solid := 0
+	for w := lo; w <= hi; w++ {
+		if c.solid(kmer.FromSequence(read.Subsequence(w, c.k), c.k)) {
+			solid++
+		}
+	}
+	return solid
+}
+
+// CorrectAll repairs every read in place and reports statistics.
+func (c *Corrector) CorrectAll(reads []*genome.Sequence) Stats {
+	st := Stats{Reads: len(reads)}
+	for _, r := range reads {
+		if e := c.CorrectRead(r); e > 0 {
+			st.Corrected++
+			st.Edits += e
+		}
+		if c.weakPositions(r) != nil {
+			st.Unrepairable++
+		}
+	}
+	return st
+}
+
+// FromReads counts the reads' own spectrum and builds a corrector from it —
+// the usual self-correction bootstrap.
+func FromReads(reads []*genome.Sequence, k int, solidThreshold uint32, maxCorrections int) *Corrector {
+	return New(kmer.CountReads(reads, k), solidThreshold, maxCorrections)
+}

@@ -1,0 +1,111 @@
+package correct
+
+import (
+	"testing"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+	"pimassembler/internal/stats"
+)
+
+// errReads draws reads with a known per-base error rate.
+func errReads(seed uint64, genomeLen, readLen, n int, rate float64) (*genome.Sequence, []*genome.Sequence, []*genome.Sequence) {
+	rng := stats.NewRNG(seed)
+	ref := genome.GenerateGenome(genomeLen, rng)
+	// Sample positions deterministically, derive clean + noisy variants of
+	// the same reads for oracle comparison.
+	clean := make([]*genome.Sequence, n)
+	noisy := make([]*genome.Sequence, n)
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(genomeLen - readLen + 1)
+		clean[i] = ref.Subsequence(pos, readLen)
+		noisy[i] = ref.Subsequence(pos, readLen)
+		for j := 0; j < readLen; j++ {
+			if rng.Float64() < rate {
+				noisy[i].SetBase(j, genome.Base((int(noisy[i].Base(j))+1+rng.Intn(3))%4))
+			}
+		}
+	}
+	return ref, clean, noisy
+}
+
+func TestCorrectSingleError(t *testing.T) {
+	_, clean, noisy := errReads(1, 3000, 80, 1200, 0.002)
+	c := FromReads(noisy, 15, 3, 4)
+	st := c.CorrectAll(noisy)
+	if st.Corrected == 0 || st.Edits == 0 {
+		t.Fatalf("nothing corrected: %+v", st)
+	}
+	// Most repaired reads should now equal their clean originals.
+	restored, damaged := 0, 0
+	for i := range noisy {
+		if noisy[i].Equal(clean[i]) {
+			restored++
+		} else {
+			damaged++
+		}
+	}
+	if restored < len(noisy)*95/100 {
+		t.Fatalf("only %d/%d reads exact after correction", restored, len(noisy))
+	}
+}
+
+func TestCorrectLeavesCleanReadsAlone(t *testing.T) {
+	rng := stats.NewRNG(2)
+	ref := genome.GenerateGenome(2000, rng)
+	reads := genome.NewReadSampler(ref, 70, 0, rng).Sample(600)
+	originals := make([]string, len(reads))
+	for i, r := range reads {
+		originals[i] = r.String()
+	}
+	c := FromReads(reads, 15, 3, 4)
+	st := c.CorrectAll(reads)
+	if st.Edits != 0 {
+		t.Fatalf("clean reads edited: %+v", st)
+	}
+	for i, r := range reads {
+		if r.String() != originals[i] {
+			t.Fatalf("read %d mutated", i)
+		}
+	}
+}
+
+func TestCorrectionShrinksSpectrum(t *testing.T) {
+	_, _, noisy := errReads(3, 3000, 80, 1200, 0.003)
+	k := 15
+	before := kmer.CountReads(noisy, k).Len()
+	FromReads(noisy, k, 3, 4).CorrectAll(noisy)
+	after := kmer.CountReads(noisy, k).Len()
+	trueKmers := 3000 - k + 1
+	if after >= before {
+		t.Fatalf("spectrum did not shrink: %d -> %d", before, after)
+	}
+	if after > trueKmers*115/100 {
+		t.Fatalf("%d distinct k-mers remain vs %d true", after, trueKmers)
+	}
+}
+
+func TestShortReadUntouched(t *testing.T) {
+	c := FromReads([]*genome.Sequence{genome.MustFromString("ACGTACGTACGTACGTACGT")}, 15, 2, 4)
+	short := genome.MustFromString("ACGT")
+	if c.CorrectRead(short) != 0 {
+		t.Fatal("read shorter than k must not be edited")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	tbl := kmer.NewCountTable(15, 4)
+	for _, f := range []func(){
+		func() { New(tbl, 0, 4) },
+		func() { New(tbl, 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

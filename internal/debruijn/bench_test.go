@@ -1,0 +1,64 @@
+package debruijn
+
+import (
+	"testing"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+	"pimassembler/internal/stats"
+)
+
+func benchTable(b *testing.B, genomeLen, k int) *kmer.CountTable {
+	b.Helper()
+	rng := stats.NewRNG(1)
+	g := genome.GenerateGenome(genomeLen, rng)
+	reads := genome.NewReadSampler(g, 101, 0, rng).Sample(genomeLen / 4)
+	return kmer.CountReads(reads, k)
+}
+
+func BenchmarkBuild(b *testing.B) {
+	tbl := benchTable(b, 10_000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(tbl)
+	}
+}
+
+func BenchmarkEulerPath(b *testing.B) {
+	tbl := benchTable(b, 5_000, 16)
+	g := Build(tbl)
+	if _, err := g.EulerPath(); err != nil {
+		b.Skip("non-Eulerian sample")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.EulerPath(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContigs(b *testing.B) {
+	tbl := benchTable(b, 10_000, 16)
+	g := Build(tbl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Contigs()
+	}
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	rng := stats.NewRNG(2)
+	ref := genome.GenerateGenome(3_000, rng)
+	reads := genome.NewReadSampler(ref, 80, 0.004, rng).Sample(1_500)
+	k := 15
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tbl := kmer.CountReads(reads, k)
+		g := Build(tbl)
+		b.StartTimer()
+		g.CoverageCutoff(3)
+		g.Simplify(2*k, 2*k, 10)
+	}
+}

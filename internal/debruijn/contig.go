@@ -1,0 +1,138 @@
+package debruijn
+
+import (
+	"sort"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+)
+
+// Contig is one assembled contiguous sequence with its supporting evidence.
+type Contig struct {
+	Seq *genome.Sequence
+	// EdgeCount is the number of k-mers (graph edges) the contig spells.
+	EdgeCount int
+	// MeanCoverage is the average multiplicity of the spelled k-mers.
+	MeanCoverage float64
+}
+
+// Contigs emits the maximal non-branching paths of the graph — the contig
+// set of the assembly's stage 2 (Fig. 5a step 2: contigs I, II, III in the
+// worked example). A path extends through nodes with in-degree 1 and
+// out-degree 1 and stops at any branch, tip, or merge; isolated cycles are
+// emitted once each. Each distinct k-mer appears in the graph as exactly
+// one edge, so edges are identified by their k-mer.
+func (g *Graph) Contigs() []Contig {
+	var contigs []Contig
+	used := make(map[kmer.Kmer]bool, g.edges)
+
+	internal := func(n kmer.Kmer) bool {
+		return g.OutDegree(n) == 1 && g.InDegree(n) == 1
+	}
+
+	// Paths starting at every edge that leaves a non-internal node.
+	for _, start := range g.Nodes() {
+		if internal(start) {
+			continue
+		}
+		for _, e := range g.Out(start) {
+			if used[e.Kmer] {
+				continue
+			}
+			used[e.Kmer] = true
+			walk := []Edge{e}
+			cur := e.To
+			for internal(cur) {
+				next := g.Out(cur)[0]
+				if used[next.Kmer] {
+					break
+				}
+				used[next.Kmer] = true
+				walk = append(walk, next)
+				cur = next.To
+			}
+			contigs = append(contigs, g.spellEdgeWalk(start, walk))
+		}
+	}
+
+	// Isolated cycles where every node is internal.
+	for _, start := range g.Nodes() {
+		if !internal(start) {
+			continue
+		}
+		first := g.Out(start)[0]
+		if used[first.Kmer] {
+			continue
+		}
+		used[first.Kmer] = true
+		walk := []Edge{first}
+		cur := first.To
+		for cur != start {
+			next := g.Out(cur)[0]
+			used[next.Kmer] = true
+			walk = append(walk, next)
+			cur = next.To
+		}
+		contigs = append(contigs, g.spellEdgeWalk(start, walk))
+	}
+
+	sort.Slice(contigs, func(a, b int) bool {
+		sa, sb := contigs[a].Seq.String(), contigs[b].Seq.String()
+		if len(sa) != len(sb) {
+			return len(sa) > len(sb)
+		}
+		return sa < sb
+	})
+	return contigs
+}
+
+// spellEdgeWalk converts a start node plus a chain of edges into a Contig:
+// the start (k-1)-mer followed by one base per edge.
+func (g *Graph) spellEdgeWalk(start kmer.Kmer, walk []Edge) Contig {
+	nodeLen := g.NodeLen()
+	seq := start.ToSequence(nodeLen)
+	var coverage float64
+	for _, e := range walk {
+		tail := genome.NewSequence(1)
+		tail.SetBase(0, e.To.LastBase(nodeLen))
+		seq = seq.Append(tail)
+		coverage += float64(e.Count)
+	}
+	return Contig{
+		Seq:          seq,
+		EdgeCount:    len(walk),
+		MeanCoverage: coverage / float64(len(walk)),
+	}
+}
+
+// N50 computes the N50 statistic of a contig set: the largest length L such
+// that contigs of length ≥ L cover at least half the total assembled bases.
+func N50(contigs []Contig) int {
+	if len(contigs) == 0 {
+		return 0
+	}
+	lengths := make([]int, len(contigs))
+	total := 0
+	for i, c := range contigs {
+		lengths[i] = c.Seq.Len()
+		total += c.Seq.Len()
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	acc := 0
+	for _, l := range lengths {
+		acc += l
+		if 2*acc >= total {
+			return l
+		}
+	}
+	return lengths[len(lengths)-1]
+}
+
+// TotalBases sums contig lengths.
+func TotalBases(contigs []Contig) int {
+	t := 0
+	for _, c := range contigs {
+		t += c.Seq.Len()
+	}
+	return t
+}

@@ -1,0 +1,180 @@
+package debruijn
+
+import (
+	"errors"
+	"fmt"
+
+	"pimassembler/internal/kmer"
+)
+
+// ErrNoEulerian reports that the graph admits no Eulerian traversal.
+var ErrNoEulerian = errors.New("debruijn: graph has no Eulerian path or circuit")
+
+// EulerPath returns an Eulerian path (or circuit) as a node walk using
+// Hierholzer's algorithm — the efficient traversal used for large graphs.
+// The walk visits every edge exactly once; spelling it reconstructs a
+// superstring of the reads.
+func (g *Graph) EulerPath() ([]kmer.Kmer, error) {
+	if g.edges == 0 {
+		return nil, ErrNoEulerian
+	}
+	class, start := g.Balance()
+	if class == BalanceNone || !g.EdgeConnected() {
+		return nil, ErrNoEulerian
+	}
+
+	// Work on a consumable copy of the adjacency (deterministic order).
+	next := make(map[kmer.Kmer][]Edge, len(g.adj))
+	for n := range g.adj {
+		next[n] = g.Out(n)
+	}
+
+	// Hierholzer with an explicit stack; the walk assembles reversed.
+	stack := []kmer.Kmer{start}
+	var walk []kmer.Kmer
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if out := next[v]; len(out) > 0 {
+			next[v] = out[1:]
+			stack = append(stack, out[0].To)
+		} else {
+			walk = append(walk, v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(walk)-1; i < j; i, j = i+1, j-1 {
+		walk[i], walk[j] = walk[j], walk[i]
+	}
+	if len(walk) != g.edges+1 {
+		// Disconnected edge set slipped through (defensive; EdgeConnected
+		// should have caught it).
+		return nil, ErrNoEulerian
+	}
+	return walk, nil
+}
+
+// FleuryPath returns an Eulerian path using Fleury's algorithm — the
+// traversal the paper's Traverse procedure names (Fig. 5c). Fleury walks
+// edge by edge, never crossing a bridge while a non-bridge alternative
+// remains. It is O(E²) and kept for paper fidelity and cross-validation;
+// EulerPath is the production traversal.
+func (g *Graph) FleuryPath() ([]kmer.Kmer, error) {
+	if g.edges == 0 {
+		return nil, ErrNoEulerian
+	}
+	class, start := g.Balance()
+	if class == BalanceNone || !g.EdgeConnected() {
+		return nil, ErrNoEulerian
+	}
+
+	// Mutable multigraph copy with edge removal.
+	adj := make(map[kmer.Kmer][]Edge, len(g.adj))
+	for n := range g.adj {
+		adj[n] = g.Out(n)
+	}
+	remaining := g.edges
+
+	removeEdge := func(from kmer.Kmer, idx int) {
+		adj[from] = append(append([]Edge(nil), adj[from][:idx]...), adj[from][idx+1:]...)
+		remaining--
+	}
+
+	// reachableEdges counts edges reachable from v in the remaining graph,
+	// used for the bridge test.
+	reachableEdges := func(v kmer.Kmer) int {
+		seen := map[kmer.Kmer]bool{v: true}
+		stack := []kmer.Kmer{v}
+		count := 0
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range adj[n] {
+				count++
+				if !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		return count
+	}
+
+	restoreEdge := func(from kmer.Kmer, idx int, e Edge) {
+		rest := adj[from]
+		out := make([]Edge, 0, len(rest)+1)
+		out = append(out, rest[:idx]...)
+		out = append(out, e)
+		out = append(out, rest[idx:]...)
+		adj[from] = out
+		remaining++
+	}
+
+	walk := []kmer.Kmer{start}
+	v := start
+	for remaining > 0 {
+		out := adj[v]
+		if len(out) == 0 {
+			return nil, ErrNoEulerian
+		}
+		moved := false
+		if len(out) > 1 {
+			for i := 0; i < len(adj[v]); i++ {
+				e := adj[v][i]
+				removeEdge(v, i)
+				// Not a bridge if every remaining edge stays reachable
+				// from the successor.
+				if reachableEdges(e.To) == remaining {
+					v = e.To
+					walk = append(walk, v)
+					moved = true
+					break
+				}
+				restoreEdge(v, i, e)
+			}
+		}
+		if moved {
+			continue
+		}
+		// Single exit, or every alternative is a bridge: take edge 0.
+		e := adj[v][0]
+		removeEdge(v, 0)
+		v = e.To
+		walk = append(walk, v)
+	}
+	return walk, nil
+}
+
+// ValidateWalk checks that a node walk is a legal traversal: consecutive
+// nodes overlap correctly and every graph edge is used exactly once.
+func (g *Graph) ValidateWalk(walk []kmer.Kmer) error {
+	if len(walk) != g.edges+1 {
+		return fmt.Errorf("debruijn: walk has %d nodes, want %d for %d edges",
+			len(walk), g.edges+1, g.edges)
+	}
+	used := make(map[kmer.Kmer]int) // edge k-mer -> times used
+	for i := 0; i+1 < len(walk); i++ {
+		from, to := walk[i], walk[i+1]
+		// The traversed edge k-mer is from extended by to's last base.
+		km := from.Extend(g.k, to.LastBase(g.NodeLen()))
+		if km.Prefix(g.k) != from || km.Suffix(g.k) != to {
+			return fmt.Errorf("debruijn: step %d: %v -> %v is not a de Bruijn transition", i, from, to)
+		}
+		used[km]++
+	}
+	for n, edges := range g.adj {
+		for _, e := range edges {
+			if used[e.Kmer] == 0 {
+				return fmt.Errorf("debruijn: edge %s (from node %v) unused",
+					e.Kmer.String(g.k), n)
+			}
+			used[e.Kmer]--
+		}
+	}
+	for km, c := range used {
+		if c != 0 {
+			return fmt.Errorf("debruijn: edge %s used %d extra times", km.String(g.k), c)
+		}
+	}
+	return nil
+}

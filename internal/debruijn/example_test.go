@@ -1,0 +1,37 @@
+package debruijn_test
+
+import (
+	"fmt"
+
+	"pimassembler/internal/debruijn"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+)
+
+// Assembling a short sequence: count k-mers, build the graph, walk the
+// Eulerian path, and spell the superstring.
+func ExampleGraph_EulerPath() {
+	s := genome.MustFromString("ACGTTGCA")
+	tbl := kmer.NewCountTable(4, 16)
+	kmer.Iterate(s, 4, func(km kmer.Kmer) { tbl.Add(km) })
+	g := debruijn.Build(tbl)
+	walk, err := g.EulerPath()
+	if err != nil {
+		fmt.Println("no Eulerian path:", err)
+		return
+	}
+	fmt.Println(g.Spell(walk))
+	// Output: ACGTTGCA
+}
+
+// Contigs stop at branches: a repeated 3-mer splits the assembly.
+func ExampleGraph_Contigs() {
+	g := debruijn.NewGraph(4)
+	for _, text := range []string{"AACG", "ACGT", "CGTT"} {
+		g.AddKmer(kmer.MustParse(text), 1)
+	}
+	for _, c := range g.Contigs() {
+		fmt.Printf("%s (%d k-mers)\n", c.Seq, c.EdgeCount)
+	}
+	// Output: AACGTT (3 k-mers)
+}

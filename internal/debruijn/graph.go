@@ -1,0 +1,232 @@
+// Package debruijn implements the bidirected de Bruijn graph model of the
+// paper's contig-generation stage (Fig. 5c): nodes are (k-1)-mers, each
+// distinct k-mer contributes an edge from its prefix to its suffix, and
+// contigs are spelled from Eulerian traversals (Fleury, as the paper's
+// Traverse procedure names) or from maximal non-branching paths.
+package debruijn
+
+import (
+	"fmt"
+	"sort"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+)
+
+// Edge is one de Bruijn edge: the k-mer it was built from, the node it
+// leads to, and the observed multiplicity (hash-table count).
+type Edge struct {
+	Kmer  kmer.Kmer
+	To    kmer.Kmer // suffix node
+	Count uint32
+}
+
+// Graph is a de Bruijn graph over (k-1)-mer nodes.
+type Graph struct {
+	k     int // k-mer (edge) length; nodes are (k-1)-mers
+	adj   map[kmer.Kmer][]Edge
+	inDeg map[kmer.Kmer]int
+	edges int
+}
+
+// K returns the edge (k-mer) length.
+func (g *Graph) K() int { return g.k }
+
+// NodeLen returns the node ((k-1)-mer) length.
+func (g *Graph) NodeLen() int { return g.k - 1 }
+
+// NewGraph creates an empty graph for k-mers of length k (k ≥ 2).
+func NewGraph(k int) *Graph {
+	if k < 2 || k > kmer.MaxK {
+		panic(fmt.Sprintf("debruijn: k=%d outside [2,%d]", k, kmer.MaxK))
+	}
+	return &Graph{
+		k:     k,
+		adj:   make(map[kmer.Kmer][]Edge),
+		inDeg: make(map[kmer.Kmer]int),
+	}
+}
+
+// AddKmer inserts the edge for one distinct k-mer with its multiplicity:
+// the MEM_insert pair of the DeBruijn procedure (node_1 = k_mer[0..k-2],
+// node_2 = k_mer[1..k-1]).
+func (g *Graph) AddKmer(km kmer.Kmer, count uint32) {
+	from := km.Prefix(g.k)
+	to := km.Suffix(g.k)
+	g.adj[from] = append(g.adj[from], Edge{Kmer: km, To: to, Count: count})
+	if _, ok := g.adj[to]; !ok {
+		g.adj[to] = nil
+	}
+	g.inDeg[to]++
+	if _, ok := g.inDeg[from]; !ok {
+		g.inDeg[from] = 0
+	}
+	g.edges++
+}
+
+// Build constructs the graph from a k-mer count table, inserting each
+// distinct k-mer once (frequency kept as edge weight).
+func Build(t *kmer.CountTable) *Graph {
+	g := NewGraph(t.K())
+	for _, e := range t.Entries() {
+		g.AddKmer(e.Kmer, e.Count)
+	}
+	return g
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the edge count (distinct k-mers).
+func (g *Graph) NumEdges() int { return g.edges }
+
+// OutDegree returns the out-degree of node n.
+func (g *Graph) OutDegree(n kmer.Kmer) int { return len(g.adj[n]) }
+
+// InDegree returns the in-degree of node n.
+func (g *Graph) InDegree(n kmer.Kmer) int { return g.inDeg[n] }
+
+// Out returns the outgoing edges of n in deterministic (k-mer sorted) order.
+func (g *Graph) Out(n kmer.Kmer) []Edge {
+	out := append([]Edge(nil), g.adj[n]...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Kmer < out[b].Kmer })
+	return out
+}
+
+// Nodes returns all nodes sorted by value.
+func (g *Graph) Nodes() []kmer.Kmer {
+	out := make([]kmer.Kmer, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// HasNode reports whether n exists.
+func (g *Graph) HasNode(n kmer.Kmer) bool {
+	_, ok := g.adj[n]
+	return ok
+}
+
+// BalanceClass classifies the graph for Eulerian traversal.
+type BalanceClass int
+
+const (
+	// BalanceCircuit: every node balanced — an Eulerian circuit exists
+	// (given connectivity).
+	BalanceCircuit BalanceClass = iota
+	// BalancePath: exactly one node with out-in = +1 (start) and one with
+	// in-out = +1 (end) — an Eulerian path exists (given connectivity).
+	BalancePath
+	// BalanceNone: no Eulerian traversal covers all edges.
+	BalanceNone
+)
+
+// Balance inspects degree balance and returns the class plus the start node
+// for a traversal (the +1 node for a path; the smallest node with outgoing
+// edges for a circuit). This is the out/in-degree scan of the paper's
+// Traverse procedure, realised in hardware by PIM_Add row reductions.
+func (g *Graph) Balance() (BalanceClass, kmer.Kmer) {
+	var start, end kmer.Kmer
+	plus, minus := 0, 0
+	for _, n := range g.Nodes() {
+		diff := g.OutDegree(n) - g.InDegree(n)
+		switch {
+		case diff == 0:
+		case diff == 1:
+			plus++
+			start = n
+		case diff == -1:
+			minus++
+			end = n
+		default:
+			return BalanceNone, 0
+		}
+	}
+	_ = end
+	switch {
+	case plus == 0 && minus == 0:
+		for _, n := range g.Nodes() {
+			if g.OutDegree(n) > 0 {
+				return BalanceCircuit, n
+			}
+		}
+		return BalanceCircuit, 0
+	case plus == 1 && minus == 1:
+		return BalancePath, start
+	default:
+		return BalanceNone, 0
+	}
+}
+
+// EdgeConnected reports whether all edges lie in one weakly connected
+// component (isolated nodes are ignored) — the connectivity half of the
+// Eulerian existence condition.
+func (g *Graph) EdgeConnected() bool {
+	// Union-find over nodes incident to at least one edge.
+	parent := make(map[kmer.Kmer]kmer.Kmer)
+	var find func(kmer.Kmer) kmer.Kmer
+	find = func(x kmer.Kmer) kmer.Kmer {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b kmer.Kmer) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	touch := func(n kmer.Kmer) {
+		if _, ok := parent[n]; !ok {
+			parent[n] = n
+		}
+	}
+	for n, edges := range g.adj {
+		for _, e := range edges {
+			touch(n)
+			touch(e.To)
+			union(n, e.To)
+		}
+	}
+	if len(parent) == 0 {
+		return true
+	}
+	var root kmer.Kmer
+	first := true
+	for n := range parent {
+		if first {
+			root = find(n)
+			first = false
+			continue
+		}
+		if find(n) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// Spell converts a node walk (sequence of (k-1)-mers where consecutive
+// nodes overlap by k-2) into a DNA sequence.
+func (g *Graph) Spell(walk []kmer.Kmer) *genome.Sequence {
+	if len(walk) == 0 {
+		return genome.NewSequence(0)
+	}
+	nodeLen := g.NodeLen()
+	seq := walk[0].ToSequence(nodeLen)
+	for _, n := range walk[1:] {
+		last := genome.NewSequence(1)
+		last.SetBase(0, n.LastBase(nodeLen))
+		seq = seq.Append(last)
+	}
+	return seq
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("debruijn.Graph{k=%d, nodes=%d, edges=%d}", g.k, g.NumNodes(), g.edges)
+}

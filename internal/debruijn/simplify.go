@@ -1,0 +1,256 @@
+package debruijn
+
+import (
+	"sort"
+
+	"pimassembler/internal/kmer"
+)
+
+// Graph simplification: the error-removal passes Velvet-class assemblers
+// (the paper's CPU baseline family, [11]) run between construction and
+// traversal. Sequencing errors create two topologies: *tips* — short
+// dead-end branches seeded by an error near a read end — and *bubbles* —
+// parallel paths between the same endpoints seeded by an error mid-read.
+// Both passes preserve the dominant (higher-coverage) structure.
+
+// SimplifyStats reports what a simplification pass removed.
+type SimplifyStats struct {
+	TipsClipped    int // edges removed by tip clipping
+	BubblesPopped  int // parallel paths removed
+	EdgesRemoved   int // total edges deleted
+	RoundsRun      int
+}
+
+// removeEdge deletes one edge (identified by its k-mer) from node from.
+func (g *Graph) removeEdge(from kmer.Kmer, km kmer.Kmer) bool {
+	edges := g.adj[from]
+	for i, e := range edges {
+		if e.Kmer == km {
+			g.adj[from] = append(append([]Edge(nil), edges[:i]...), edges[i+1:]...)
+			g.inDeg[e.To]--
+			g.edges--
+			return true
+		}
+	}
+	return false
+}
+
+// pruneIsolated drops nodes with no remaining edges.
+func (g *Graph) pruneIsolated() {
+	for n := range g.adj {
+		if len(g.adj[n]) == 0 && g.inDeg[n] == 0 {
+			delete(g.adj, n)
+			delete(g.inDeg, n)
+		}
+	}
+}
+
+// ClipTips removes dead-end branches of at most maxLen edges whose mean
+// coverage is below that of the path competing at their branch point.
+// Returns the number of edges removed. One call runs a single pass; Simplify
+// iterates to convergence.
+func (g *Graph) ClipTips(maxLen int) int {
+	if maxLen <= 0 {
+		return 0
+	}
+	removed := 0
+	// A tip starts at a node whose in-degree is 0 (forward tip) or ends at
+	// a node with out-degree 0 (reverse tip), and is shorter than maxLen.
+	for _, start := range g.Nodes() {
+		if !g.HasNode(start) {
+			continue
+		}
+		// Forward tip: orphan start node with exactly one way forward.
+		if g.InDegree(start) == 0 && g.OutDegree(start) == 1 {
+			path, end := g.walkForward(start, maxLen)
+			if path == nil {
+				continue
+			}
+			// It is a clippable tip when it merges into a node that has
+			// other inputs (the main path continues without it).
+			if g.InDegree(end) > 1 {
+				removed += g.removePath(start, path)
+			}
+		}
+		// Reverse tip: dead end with exactly one way back, hanging off a
+		// branching node (error near the read's tail).
+		if g.HasNode(start) && g.OutDegree(start) == 0 && g.InDegree(start) == 1 {
+			path, branch := g.walkBackward(start, maxLen)
+			if path == nil {
+				continue
+			}
+			if g.OutDegree(branch) > 1 {
+				removed += g.removePath(branch, path)
+			}
+		}
+	}
+	g.pruneIsolated()
+	return removed
+}
+
+// predecessors returns the nodes with an edge into n, with the connecting
+// edge k-mers. A predecessor's edge k-mer is n prepended with one base
+// (e = b·n in sequence order), so there are at most four candidates.
+func (g *Graph) predecessors(n kmer.Kmer) []Edge {
+	var preds []Edge
+	for b := 0; b < 4; b++ {
+		e := (kmer.Kmer(b) | n<<2) & kmer.Kmer(kmer.Mask(g.k))
+		p := e.Prefix(g.k)
+		for _, edge := range g.adj[p] {
+			if edge.Kmer == e {
+				preds = append(preds, Edge{Kmer: e, To: p, Count: edge.Count})
+			}
+		}
+	}
+	return preds
+}
+
+// walkBackward follows 1-in/1-out nodes upstream from end for at most
+// maxLen edges, stopping at a node that branches. It returns the path in
+// forward order (branch → end) plus the branch node, or nil when the walk
+// exceeds maxLen.
+func (g *Graph) walkBackward(end kmer.Kmer, maxLen int) ([]Edge, kmer.Kmer) {
+	var rev []Edge
+	cur := end
+	for len(rev) < maxLen {
+		preds := g.predecessors(cur)
+		if len(preds) != 1 {
+			return nil, cur
+		}
+		from := preds[0].To // predecessor node
+		rev = append(rev, Edge{Kmer: preds[0].Kmer, To: cur, Count: preds[0].Count})
+		cur = from
+		if g.OutDegree(cur) > 1 || g.InDegree(cur) != 1 {
+			// Reached the branch point.
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, cur
+		}
+	}
+	return nil, cur
+}
+
+// walkForward follows 1-out nodes from start for at most maxLen edges,
+// stopping at a node that branches or merges. Returns nil if the walk
+// exceeds maxLen without terminating (not a tip).
+func (g *Graph) walkForward(start kmer.Kmer, maxLen int) ([]Edge, kmer.Kmer) {
+	var path []Edge
+	cur := start
+	for len(path) < maxLen {
+		out := g.Out(cur)
+		if len(out) != 1 {
+			return nil, cur
+		}
+		e := out[0]
+		path = append(path, e)
+		cur = e.To
+		if g.InDegree(cur) > 1 || g.OutDegree(cur) != 1 {
+			return path, cur
+		}
+	}
+	return nil, cur
+}
+
+// removePath deletes the chain of edges starting at start.
+func (g *Graph) removePath(start kmer.Kmer, path []Edge) int {
+	cur := start
+	removed := 0
+	for _, e := range path {
+		if g.removeEdge(cur, e.Kmer) {
+			removed++
+		}
+		cur = e.To
+	}
+	return removed
+}
+
+// PopBubbles finds pairs of equal-length parallel simple paths (length ≤
+// maxLen) between the same branch and merge nodes and removes the one with
+// lower mean coverage. Returns the number of bubbles popped.
+func (g *Graph) PopBubbles(maxLen int) int {
+	popped := 0
+	for _, branch := range g.Nodes() {
+		if !g.HasNode(branch) || g.OutDegree(branch) < 2 {
+			continue
+		}
+		// Trace each outgoing simple path to its merge node.
+		type trace struct {
+			path []Edge
+			end  kmer.Kmer
+			cov  float64
+		}
+		var traces []trace
+		for _, first := range g.Out(branch) {
+			path := []Edge{first}
+			cur := first.To
+			cov := float64(first.Count)
+			for len(path) < maxLen && g.InDegree(cur) == 1 && g.OutDegree(cur) == 1 {
+				e := g.Out(cur)[0]
+				path = append(path, e)
+				cov += float64(e.Count)
+				cur = e.To
+			}
+			traces = append(traces, trace{path: path, end: cur, cov: cov / float64(len(path))})
+		}
+		// Pop the weaker arm of any pair converging on the same node with
+		// the same length (a substitution error creates exactly this).
+		sort.Slice(traces, func(a, b int) bool { return traces[a].cov > traces[b].cov })
+		for i := 0; i < len(traces); i++ {
+			for j := i + 1; j < len(traces); j++ {
+				if traces[i].end == traces[j].end && len(traces[i].path) == len(traces[j].path) {
+					if g.removePath(branch, traces[j].path) > 0 {
+						popped++
+						traces = append(traces[:j], traces[j+1:]...)
+						j--
+					}
+				}
+			}
+		}
+	}
+	g.pruneIsolated()
+	return popped
+}
+
+// CoverageCutoff removes every edge observed fewer than min times —
+// Velvet's -cov_cutoff pass. At typical sequencing depth true k-mers appear
+// ~coverage times while error k-mers appear once or twice, so a small
+// cutoff removes the error mass that topology-only passes cannot reach
+// (error arms braided into other error arms). Returns edges removed.
+func (g *Graph) CoverageCutoff(min uint32) int {
+	removed := 0
+	for _, n := range g.Nodes() {
+		if !g.HasNode(n) {
+			continue
+		}
+		for _, e := range g.Out(n) {
+			if e.Count < min {
+				if g.removeEdge(n, e.Kmer) {
+					removed++
+				}
+			}
+		}
+	}
+	g.pruneIsolated()
+	return removed
+}
+
+// Simplify runs tip clipping and bubble popping to convergence (bounded at
+// maxRounds) and reports what was removed. tipLen/bubbleLen bound the
+// branch lengths considered; Velvet's defaults correspond to ~2k.
+func (g *Graph) Simplify(tipLen, bubbleLen, maxRounds int) SimplifyStats {
+	var st SimplifyStats
+	for round := 0; round < maxRounds; round++ {
+		before := g.edges
+		clipped := g.ClipTips(tipLen)
+		bubbles := g.PopBubbles(bubbleLen)
+		st.TipsClipped += clipped
+		st.BubblesPopped += bubbles
+		st.RoundsRun++
+		if g.edges == before {
+			break
+		}
+		st.EdgesRemoved += before - g.edges
+	}
+	return st
+}

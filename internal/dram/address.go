@@ -1,0 +1,79 @@
+package dram
+
+import "fmt"
+
+// Address locates one row within the memory group's hierarchy:
+// bank → MAT → sub-array → row. The AAP instructions' src/des operands are
+// flat row addresses; this mapping is how the controller resolves them.
+type Address struct {
+	Bank     int
+	MAT      int
+	Subarray int // within the MAT
+	Row      int // within the sub-array
+}
+
+// Validate checks the address against a geometry.
+func (a Address) Validate(g Geometry) error {
+	switch {
+	case a.Bank < 0 || a.Bank >= g.Banks():
+		return fmt.Errorf("dram: bank %d outside [0,%d)", a.Bank, g.Banks())
+	case a.MAT < 0 || a.MAT >= g.MATsPerBank():
+		return fmt.Errorf("dram: MAT %d outside [0,%d)", a.MAT, g.MATsPerBank())
+	case a.Subarray < 0 || a.Subarray >= g.SubarraysPerMAT:
+		return fmt.Errorf("dram: sub-array %d outside [0,%d)", a.Subarray, g.SubarraysPerMAT)
+	case a.Row < 0 || a.Row >= g.RowsPerSubarray:
+		return fmt.Errorf("dram: row %d outside [0,%d)", a.Row, g.RowsPerSubarray)
+	}
+	return nil
+}
+
+// GlobalSubarray returns the flat sub-array index used by the platform and
+// scheduler: banks-major, then MATs, then sub-arrays.
+func (a Address) GlobalSubarray(g Geometry) int {
+	return (a.Bank*g.MATsPerBank()+a.MAT)*g.SubarraysPerMAT + a.Subarray
+}
+
+// FlatRow returns the device-wide flat row address (the form AAP operands
+// carry): GlobalSubarray × RowsPerSubarray + Row.
+func (a Address) FlatRow(g Geometry) int64 {
+	return int64(a.GlobalSubarray(g))*int64(g.RowsPerSubarray) + int64(a.Row)
+}
+
+// DecodeFlatRow inverts FlatRow.
+func DecodeFlatRow(g Geometry, flat int64) (Address, error) {
+	totalRows := int64(g.TotalSubarrays()) * int64(g.RowsPerSubarray)
+	if flat < 0 || flat >= totalRows {
+		return Address{}, fmt.Errorf("dram: flat row %d outside [0,%d)", flat, totalRows)
+	}
+	sub := int(flat / int64(g.RowsPerSubarray))
+	row := int(flat % int64(g.RowsPerSubarray))
+	perBank := g.SubarraysPerBank()
+	return Address{
+		Bank:     sub / perBank,
+		MAT:      (sub % perBank) / g.SubarraysPerMAT,
+		Subarray: sub % g.SubarraysPerMAT,
+		Row:      row,
+	}, nil
+}
+
+// SubarrayAddress builds the address of a (global sub-array, row) pair.
+func SubarrayAddress(g Geometry, globalSubarray, row int) (Address, error) {
+	if globalSubarray < 0 || globalSubarray >= g.TotalSubarrays() {
+		return Address{}, fmt.Errorf("dram: sub-array %d outside [0,%d)", globalSubarray, g.TotalSubarrays())
+	}
+	if row < 0 || row >= g.RowsPerSubarray {
+		return Address{}, fmt.Errorf("dram: row %d outside [0,%d)", row, g.RowsPerSubarray)
+	}
+	perBank := g.SubarraysPerBank()
+	return Address{
+		Bank:     globalSubarray / perBank,
+		MAT:      (globalSubarray % perBank) / g.SubarraysPerMAT,
+		Subarray: globalSubarray % g.SubarraysPerMAT,
+		Row:      row,
+	}, nil
+}
+
+// String implements fmt.Stringer.
+func (a Address) String() string {
+	return fmt.Sprintf("bank%d.mat%d.sub%d.row%d", a.Bank, a.MAT, a.Subarray, a.Row)
+}

@@ -1,0 +1,164 @@
+package dram
+
+import "fmt"
+
+// CommandKind enumerates the DRAM and PIM command primitives PIM-Assembler's
+// controller issues. The three AAP variants correspond to the paper's §II-B
+// "Software Support" instruction types.
+type CommandKind int
+
+const (
+	// CmdActivate opens one row (normal DRAM ACTIVATE).
+	CmdActivate CommandKind = iota
+	// CmdPrecharge closes the open row(s).
+	CmdPrecharge
+	// CmdRead performs a column read burst through the row buffer.
+	CmdRead
+	// CmdWrite performs a column write burst through the row buffer.
+	CmdWrite
+	// CmdAAPCopy is the type-1 AAP(src, des, size): RowClone copy.
+	CmdAAPCopy
+	// CmdAAP2 is the type-2 AAP(src1, src2, des, size): two-row activation
+	// computing X(N)OR/NOR/NAND in the reconfigurable SA.
+	CmdAAP2
+	// CmdAAP3 is the type-3 AAP(src1, src2, src3, des, size): Ambit-style
+	// triple-row activation computing 3-input majority (carry).
+	CmdAAP3
+	// CmdDPU is a MAT-level digital processing unit operation (non-bulk).
+	CmdDPU
+)
+
+var commandNames = [...]string{
+	CmdActivate:  "ACTIVATE",
+	CmdPrecharge: "PRECHARGE",
+	CmdRead:      "READ",
+	CmdWrite:     "WRITE",
+	CmdAAPCopy:   "AAP.copy",
+	CmdAAP2:      "AAP.2src",
+	CmdAAP3:      "AAP.3src",
+	CmdDPU:       "DPU",
+}
+
+// String implements fmt.Stringer.
+func (k CommandKind) String() string {
+	if k < 0 || int(k) >= len(commandNames) {
+		return fmt.Sprintf("CommandKind(%d)", int(k))
+	}
+	return commandNames[k]
+}
+
+// sourceRows returns how many rows the first ACTIVATE of an AAP opens.
+func (k CommandKind) sourceRows() int {
+	switch k {
+	case CmdAAPCopy:
+		return 1
+	case CmdAAP2:
+		return 2
+	case CmdAAP3:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// computes reports whether the command engages the add-on SA logic.
+func (k CommandKind) computes() bool { return k == CmdAAP2 || k == CmdAAP3 }
+
+// Meter accumulates latency and energy for a stream of commands issued to a
+// set of sub-arrays. One Meter typically tracks one controller's activity;
+// parallel sub-arrays executing the same broadcast command account the
+// energy of every participating sub-array but the latency only once.
+type Meter struct {
+	timing Timing
+	energy Energy
+
+	// Cycles counts issued command slots per kind.
+	Counts map[CommandKind]int64
+	// LatencyNS is the accumulated critical-path latency in nanoseconds.
+	LatencyNS float64
+	// EnergyPJ is the accumulated dynamic energy in picojoules.
+	EnergyPJ float64
+}
+
+// NewMeter returns a Meter using the given timing and energy models.
+func NewMeter(t Timing, e Energy) *Meter {
+	return &Meter{
+		timing: t,
+		energy: e,
+		Counts: make(map[CommandKind]int64),
+	}
+}
+
+// Timing returns the meter's timing model.
+func (m *Meter) Timing() Timing { return m.timing }
+
+// Energy returns the meter's energy model.
+func (m *Meter) Energy() Energy { return m.energy }
+
+// Record accounts one command broadcast to parallelSubarrays sub-arrays.
+// Latency accrues once (the sub-arrays operate in lock step); energy accrues
+// per participating sub-array.
+func (m *Meter) Record(kind CommandKind, parallelSubarrays int) {
+	if parallelSubarrays <= 0 {
+		parallelSubarrays = 1
+	}
+	m.Counts[kind]++
+	n := float64(parallelSubarrays)
+	switch kind {
+	case CmdActivate:
+		m.LatencyNS += m.timing.TRAS
+		m.EnergyPJ += n * m.energy.ActivationEnergy(1)
+	case CmdPrecharge:
+		m.LatencyNS += m.timing.TRP
+		m.EnergyPJ += n * m.energy.EPrecharge
+	case CmdRead:
+		m.LatencyNS += m.timing.ReadLatency()
+		m.EnergyPJ += n * (m.energy.ActivationEnergy(1) + m.energy.ERowBuffer)
+	case CmdWrite:
+		m.LatencyNS += m.timing.WriteLatency()
+		m.EnergyPJ += n * (m.energy.ActivationEnergy(1) + m.energy.ERowBuffer)
+	case CmdAAPCopy, CmdAAP2, CmdAAP3:
+		m.LatencyNS += m.timing.AAP()
+		m.EnergyPJ += n * m.energy.AAPEnergy(kind.sourceRows(), 1, kind.computes())
+	case CmdDPU:
+		m.LatencyNS += m.timing.TCK
+		m.EnergyPJ += n * m.energy.EDPUOp
+	default:
+		panic(fmt.Sprintf("dram: unknown command kind %v", kind))
+	}
+}
+
+// TotalCommands returns the total number of recorded command slots.
+func (m *Meter) TotalCommands() int64 {
+	var t int64
+	for _, c := range m.Counts {
+		t += c
+	}
+	return t
+}
+
+// AveragePowerW returns dynamic power averaged over the accumulated latency,
+// in watts. Returns 0 when no latency has accrued.
+func (m *Meter) AveragePowerW() float64 {
+	if m.LatencyNS <= 0 {
+		return 0
+	}
+	return m.EnergyPJ / m.LatencyNS / 1000 // pJ/ns = mW; /1000 → W
+}
+
+// Reset clears all accumulated state.
+func (m *Meter) Reset() {
+	m.Counts = make(map[CommandKind]int64)
+	m.LatencyNS = 0
+	m.EnergyPJ = 0
+}
+
+// Merge adds the counts, latency and energy of other into m. Use it to fold
+// per-worker meters from parallel functional simulation into one total.
+func (m *Meter) Merge(other *Meter) {
+	for k, v := range other.Counts {
+		m.Counts[k] += v
+	}
+	m.LatencyNS += other.LatencyNS
+	m.EnergyPJ += other.EnergyPJ
+}

@@ -1,0 +1,288 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultGeometryMatchesPaper(t *testing.T) {
+	g := Default()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.RowsPerSubarray != 1024 || g.ColsPerSubarray != 256 {
+		t.Fatalf("sub-array %dx%d, paper uses 1024x256", g.RowsPerSubarray, g.ColsPerSubarray)
+	}
+	if g.DataRows() != 1016 {
+		t.Fatalf("data rows %d, paper splits 1016 data + 8 compute", g.DataRows())
+	}
+	if g.ComputeRows != 8 {
+		t.Fatalf("compute rows %d, want 8", g.ComputeRows)
+	}
+	if g.MATsPerBank() != 16 {
+		t.Fatalf("MATs per bank %d, paper uses 4x4", g.MATsPerBank())
+	}
+	if g.Banks() != 256 {
+		t.Fatalf("banks %d, paper uses 16x16 per group", g.Banks())
+	}
+}
+
+func TestGeometryDerivedCounts(t *testing.T) {
+	g := Default()
+	if got := g.SubarraysPerBank(); got != g.MATsPerBank()*g.SubarraysPerMAT {
+		t.Fatalf("SubarraysPerBank %d inconsistent", got)
+	}
+	if got := g.TotalSubarrays(); got != g.Banks()*g.SubarraysPerBank() {
+		t.Fatalf("TotalSubarrays %d inconsistent", got)
+	}
+	if got := g.ActiveSubarrays(); got != g.ActiveBanks*g.SubarraysPerBank() {
+		t.Fatalf("ActiveSubarrays %d inconsistent", got)
+	}
+	if got := g.ParallelBits(); got != g.ActiveSubarrays()*256 {
+		t.Fatalf("ParallelBits %d inconsistent", got)
+	}
+	if got := g.SubarrayBits(); got != 1024*256 {
+		t.Fatalf("SubarrayBits %d", got)
+	}
+	if got := g.CapacityBits(); got != int64(g.TotalSubarrays())*1024*256 {
+		t.Fatalf("CapacityBits %d", got)
+	}
+}
+
+func TestGeometryValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*Geometry){
+		func(g *Geometry) { g.RowsPerSubarray = 0 },
+		func(g *Geometry) { g.ColsPerSubarray = -1 },
+		func(g *Geometry) { g.ComputeRows = 0 },
+		func(g *Geometry) { g.ComputeRows = g.RowsPerSubarray },
+		func(g *Geometry) { g.ReservedRows = -1 },
+		func(g *Geometry) { g.SubarraysPerMAT = 0 },
+		func(g *Geometry) { g.BankRows = 0 },
+		func(g *Geometry) { g.ActiveBanks = 0 },
+		func(g *Geometry) { g.ActiveBanks = g.Banks() + 1 },
+	}
+	for i, mutate := range cases {
+		g := Default()
+		mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: invalid geometry accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestTimingDerived(t *testing.T) {
+	tm := DefaultTiming()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tm.RowCycle(), tm.TRAS+tm.TRP; got != want {
+		t.Fatalf("RowCycle %v, want %v", got, want)
+	}
+	if got, want := tm.AAP(), 2*tm.TRAS+tm.TRP; got != want {
+		t.Fatalf("AAP %v, want %v", got, want)
+	}
+	if tm.AAP() <= tm.RowCycle() {
+		t.Fatal("AAP must cost more than a single row cycle")
+	}
+}
+
+func TestTimingValidateRejectsBad(t *testing.T) {
+	tm := DefaultTiming()
+	tm.TRAS = tm.TRCD / 2
+	if err := tm.Validate(); err == nil {
+		t.Fatal("tRAS < tRCD accepted")
+	}
+	tm = DefaultTiming()
+	tm.TCK = 0
+	if err := tm.Validate(); err == nil {
+		t.Fatal("zero tCK accepted")
+	}
+}
+
+func TestEnergyActivation(t *testing.T) {
+	e := DefaultEnergy()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ActivationEnergy(0); got != 0 {
+		t.Fatalf("0-row activation energy %v", got)
+	}
+	one := e.ActivationEnergy(1)
+	two := e.ActivationEnergy(2)
+	three := e.ActivationEnergy(3)
+	if one != e.EActivate {
+		t.Fatalf("single activation %v, want %v", one, e.EActivate)
+	}
+	if two <= one || three <= two {
+		t.Fatal("multi-row activation energy must increase with rows")
+	}
+	if two >= 2*one {
+		t.Fatal("second row must cost less than a full activation (shared restore)")
+	}
+}
+
+func TestAAPEnergyComputePremium(t *testing.T) {
+	e := DefaultEnergy()
+	plain := e.AAPEnergy(1, 1, false)
+	compute := e.AAPEnergy(2, 1, true)
+	if compute <= plain {
+		t.Fatal("compute AAP with 2 source rows must cost more than a copy AAP")
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := NewMeter(DefaultTiming(), DefaultEnergy())
+	m.Record(CmdAAP2, 4)
+	if m.Counts[CmdAAP2] != 1 {
+		t.Fatalf("count %d", m.Counts[CmdAAP2])
+	}
+	if m.LatencyNS != DefaultTiming().AAP() {
+		t.Fatalf("latency %v, want one AAP", m.LatencyNS)
+	}
+	wantE := 4 * DefaultEnergy().AAPEnergy(2, 1, true)
+	if math.Abs(m.EnergyPJ-wantE) > 1e-9 {
+		t.Fatalf("energy %v, want %v", m.EnergyPJ, wantE)
+	}
+}
+
+func TestMeterParallelEnergyScalesNotLatency(t *testing.T) {
+	seq := NewMeter(DefaultTiming(), DefaultEnergy())
+	par := NewMeter(DefaultTiming(), DefaultEnergy())
+	seq.Record(CmdAAPCopy, 1)
+	par.Record(CmdAAPCopy, 100)
+	if seq.LatencyNS != par.LatencyNS {
+		t.Fatal("broadcast command latency must not scale with sub-array count")
+	}
+	if par.EnergyPJ <= seq.EnergyPJ {
+		t.Fatal("broadcast command energy must scale with sub-array count")
+	}
+}
+
+func TestMeterAveragePower(t *testing.T) {
+	m := NewMeter(DefaultTiming(), DefaultEnergy())
+	if m.AveragePowerW() != 0 {
+		t.Fatal("empty meter power must be 0")
+	}
+	m.Record(CmdActivate, 1)
+	// pJ/ns/1000 = W
+	want := m.EnergyPJ / m.LatencyNS / 1000
+	if got := m.AveragePowerW(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("power %v, want %v", got, want)
+	}
+}
+
+func TestMeterMergeAndReset(t *testing.T) {
+	a := NewMeter(DefaultTiming(), DefaultEnergy())
+	b := NewMeter(DefaultTiming(), DefaultEnergy())
+	a.Record(CmdRead, 1)
+	b.Record(CmdRead, 1)
+	b.Record(CmdWrite, 1)
+	a.Merge(b)
+	if a.Counts[CmdRead] != 2 || a.Counts[CmdWrite] != 1 {
+		t.Fatalf("merged counts %v", a.Counts)
+	}
+	if a.TotalCommands() != 3 {
+		t.Fatalf("total %d", a.TotalCommands())
+	}
+	a.Reset()
+	if a.TotalCommands() != 0 || a.LatencyNS != 0 || a.EnergyPJ != 0 {
+		t.Fatal("reset did not clear meter")
+	}
+}
+
+func TestCommandKindString(t *testing.T) {
+	if CmdAAP3.String() != "AAP.3src" {
+		t.Fatalf("got %q", CmdAAP3.String())
+	}
+	if CommandKind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestThroughputConfigUses8Banks(t *testing.T) {
+	g := ThroughputConfig()
+	if g.ActiveBanks != 8 {
+		t.Fatalf("throughput config active banks %d, paper §II-B uses 8", g.ActiveBanks)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressRoundTrip(t *testing.T) {
+	g := Default()
+	cases := []Address{
+		{0, 0, 0, 0},
+		{0, 0, 0, 1023},
+		{1, 3, 7, 512},
+		{g.Banks() - 1, g.MATsPerBank() - 1, g.SubarraysPerMAT - 1, g.RowsPerSubarray - 1},
+	}
+	for _, a := range cases {
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		back, err := DecodeFlatRow(g, a.FlatRow(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != a {
+			t.Fatalf("round trip %v -> %v", a, back)
+		}
+	}
+}
+
+func TestAddressFlatRowProperty(t *testing.T) {
+	g := Default()
+	// Every flat row decodes to a valid address that re-encodes to itself.
+	total := int64(g.TotalSubarrays()) * int64(g.RowsPerSubarray)
+	for _, flat := range []int64{0, 1, 1023, 1024, total / 2, total - 1} {
+		a, err := DecodeFlatRow(g, flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("flat %d decodes invalid %v", flat, a)
+		}
+		if a.FlatRow(g) != flat {
+			t.Fatalf("flat %d re-encodes to %d", flat, a.FlatRow(g))
+		}
+	}
+	if _, err := DecodeFlatRow(g, total); err == nil {
+		t.Fatal("out-of-range flat row accepted")
+	}
+	if _, err := DecodeFlatRow(g, -1); err == nil {
+		t.Fatal("negative flat row accepted")
+	}
+}
+
+func TestSubarrayAddressAgreesWithGlobal(t *testing.T) {
+	g := Default()
+	for _, sub := range []int{0, 1, g.SubarraysPerBank() - 1, g.SubarraysPerBank(), g.TotalSubarrays() - 1} {
+		a, err := SubarrayAddress(g, sub, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.GlobalSubarray(g) != sub {
+			t.Fatalf("sub-array %d maps to %d", sub, a.GlobalSubarray(g))
+		}
+	}
+	if _, err := SubarrayAddress(g, g.TotalSubarrays(), 0); err == nil {
+		t.Fatal("out-of-range sub-array accepted")
+	}
+	if _, err := SubarrayAddress(g, 0, g.RowsPerSubarray); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+func TestAddressValidateRejects(t *testing.T) {
+	g := Default()
+	for _, a := range []Address{
+		{Bank: -1}, {Bank: g.Banks()},
+		{MAT: g.MATsPerBank()}, {Subarray: g.SubarraysPerMAT},
+		{Row: g.RowsPerSubarray},
+	} {
+		if err := a.Validate(g); err == nil {
+			t.Fatalf("invalid address %v accepted", a)
+		}
+	}
+}

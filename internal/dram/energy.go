@@ -1,0 +1,90 @@
+package dram
+
+import "fmt"
+
+// Energy holds per-command energy parameters for one sub-array. The values
+// are scaled to the sub-array granularity (256 bit-lines) from published
+// 45 nm DDR3 device numbers (Rambus power model, as the paper uses, and the
+// per-operation breakdowns reported by Ambit and DRISA). All energies are in
+// picojoules; power in watts.
+type Energy struct {
+	// EActivate is the energy of activating one 256-cell sub-array row
+	// (word-line swing + cell restore + sense amplification).
+	EActivate float64
+	// EPrecharge is the energy of precharging the sub-array's bit-lines.
+	EPrecharge float64
+	// EMultiRowFactor is the extra activation energy factor per
+	// simultaneously opened row beyond the first (charge-sharing rows do
+	// not fully restore, so the increment is below 1.0).
+	EMultiRowFactor float64
+	// ESenseAddon is the energy of the reconfigurable SA's add-on circuit
+	// (two shifted-VTC inverters, AND, XOR, latch, MUX) per row operation.
+	ESenseAddon float64
+	// EDPUOp is the energy of one MAT-level DPU operation (row-wide AND
+	// reduction or small scalar add).
+	EDPUOp float64
+	// ERowBuffer is the energy of moving one row through the global row
+	// buffer (normal read/write path), per row.
+	ERowBuffer float64
+	// PStaticSubarray is the static (leakage + refresh amortised) power per
+	// sub-array in watts.
+	PStaticSubarray float64
+	// PController is the memory-group controller power in watts.
+	PController float64
+}
+
+// DefaultEnergy returns the calibrated 45 nm sub-array energy model.
+//
+// Calibration notes (see DESIGN.md §1): a full 8 kB DRAM row activation
+// costs ≈0.9 nJ on DDR3; one 256-bit sub-array row is 1/256 of that bank row
+// across the device, giving ≈28 pJ per sub-array-row activation once local
+// word-line and SA overheads are folded in. The add-on SA circuit (~50
+// transistors per bit-line) adds ≈15 % on top of sense energy.
+func DefaultEnergy() Energy {
+	return Energy{
+		EActivate:       28.0,
+		EPrecharge:      9.0,
+		EMultiRowFactor: 0.55,
+		ESenseAddon:     4.2,
+		EDPUOp:          6.5,
+		ERowBuffer:      22.0,
+		PStaticSubarray: 190e-6,
+		PController:     3.2,
+	}
+}
+
+// Validate checks that the model is physically sensible.
+func (e Energy) Validate() error {
+	if e.EActivate <= 0 || e.EPrecharge <= 0 || e.ERowBuffer <= 0 {
+		return fmt.Errorf("dram: command energies must be positive: %+v", e)
+	}
+	if e.EMultiRowFactor <= 0 || e.EMultiRowFactor > 1 {
+		return fmt.Errorf("dram: multi-row factor %.2f outside (0,1]", e.EMultiRowFactor)
+	}
+	if e.ESenseAddon < 0 || e.EDPUOp < 0 || e.PStaticSubarray < 0 || e.PController < 0 {
+		return fmt.Errorf("dram: energy components must be non-negative: %+v", e)
+	}
+	return nil
+}
+
+// ActivationEnergy returns the energy of simultaneously activating rows
+// word-lines in one sub-array (1 for a normal ACTIVATE, 2 for the paper's
+// two-row mechanism, 3 for Ambit-style TRA).
+func (e Energy) ActivationEnergy(rows int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return e.EActivate * (1 + e.EMultiRowFactor*float64(rows-1))
+}
+
+// AAPEnergy returns the energy of one AAP primitive in one sub-array:
+// first activation opens srcRows rows, the second opens dstRows rows, then
+// one precharge closes the array. The add-on SA circuit is charged once if
+// the AAP computes (i.e. is not a plain copy).
+func (e Energy) AAPEnergy(srcRows, dstRows int, compute bool) float64 {
+	total := e.ActivationEnergy(srcRows) + e.ActivationEnergy(dstRows) + e.EPrecharge
+	if compute {
+		total += e.ESenseAddon
+	}
+	return total
+}

@@ -1,0 +1,129 @@
+// Package energy turns command streams and stage costs into energy and
+// power breakdowns: per-command-kind energy of a functional run (from the
+// dram.Meter), per-operation energy of the in-situ platforms, and stage
+// energy summaries for the pipeline (the data behind Fig. 9b's bars).
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pimassembler/internal/dram"
+	"pimassembler/internal/perfmodel"
+	"pimassembler/internal/platforms"
+)
+
+// Breakdown attributes a functional run's dynamic energy to command kinds.
+type Breakdown struct {
+	ByCommand map[dram.CommandKind]float64 // picojoules
+	TotalPJ   float64
+	LatencyNS float64
+}
+
+// FromMeter reconstructs the per-kind energy split of a meter's command
+// stream. The meter accumulates only totals, so the split is recomputed
+// from the counts and the energy model; for broadcast commands recorded
+// with parallel sub-arrays the split reflects command slots, i.e. the
+// single-sub-array energy — callers wanting the full-array figure should
+// use the meter's own EnergyPJ total (returned unchanged here).
+func FromMeter(m *dram.Meter) Breakdown {
+	e := m.Energy()
+	b := Breakdown{
+		ByCommand: make(map[dram.CommandKind]float64),
+		TotalPJ:   m.EnergyPJ,
+		LatencyNS: m.LatencyNS,
+	}
+	per := map[dram.CommandKind]float64{
+		dram.CmdActivate:  e.ActivationEnergy(1),
+		dram.CmdPrecharge: e.EPrecharge,
+		dram.CmdRead:      e.ActivationEnergy(1) + e.ERowBuffer,
+		dram.CmdWrite:     e.ActivationEnergy(1) + e.ERowBuffer,
+		dram.CmdAAPCopy:   e.AAPEnergy(1, 1, false),
+		dram.CmdAAP2:      e.AAPEnergy(2, 1, true),
+		dram.CmdAAP3:      e.AAPEnergy(3, 1, true),
+		dram.CmdDPU:       e.EDPUOp,
+	}
+	for kind, count := range m.Counts {
+		b.ByCommand[kind] = float64(count) * per[kind]
+	}
+	return b
+}
+
+// DominantKind returns the command kind consuming the most energy.
+func (b Breakdown) DominantKind() dram.CommandKind {
+	var best dram.CommandKind
+	bestE := -1.0
+	kinds := make([]dram.CommandKind, 0, len(b.ByCommand))
+	for k := range b.ByCommand {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		if b.ByCommand[k] > bestE {
+			best, bestE = k, b.ByCommand[k]
+		}
+	}
+	return best
+}
+
+// String renders the breakdown sorted by energy.
+func (b Breakdown) String() string {
+	kinds := make([]dram.CommandKind, 0, len(b.ByCommand))
+	for k := range b.ByCommand {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return b.ByCommand[kinds[i]] > b.ByCommand[kinds[j]] })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "energy %.1f nJ over %.1f µs:", b.TotalPJ/1e3, b.LatencyNS/1e3)
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, " %s=%.1fnJ", k, b.ByCommand[k]/1e3)
+	}
+	return sb.String()
+}
+
+// OpEnergy is the modeled energy of one row-wide bulk operation on an
+// in-situ platform, in picojoules per sub-array.
+func OpEnergy(s platforms.Spec, op platforms.BulkOp) float64 {
+	if s.Kind != platforms.KindInSitu {
+		panic(fmt.Sprintf("energy: %s is not an in-situ platform", s.Name))
+	}
+	cycles := s.XNORCycles
+	if op == platforms.OpAdd {
+		cycles = s.AddCyclesPerBit * platforms.AddElemBits
+	}
+	return cycles * platforms.EnergyPerAAPpJ * s.EnergyScale
+}
+
+// StageEnergy is a pipeline stage's energy in joules.
+type StageEnergy struct {
+	Platform  string
+	K         int
+	HashmapJ  float64
+	DeBruijnJ float64
+	TraverseJ float64
+}
+
+// TotalJ sums the stages.
+func (s StageEnergy) TotalJ() float64 { return s.HashmapJ + s.DeBruijnJ + s.TraverseJ }
+
+// FromStageCost converts a stage cost to per-stage energy (stage time ×
+// platform power; the power draw is modeled flat across stages).
+func FromStageCost(c perfmodel.StageCost) StageEnergy {
+	return StageEnergy{
+		Platform:  c.Platform,
+		K:         c.K,
+		HashmapJ:  c.HashmapS * c.PowerW,
+		DeBruijnJ: c.DeBruijnS * c.PowerW,
+		TraverseJ: c.TraverseS * c.PowerW,
+	}
+}
+
+// EfficiencyRatio returns how many times less energy `a` uses than `b` for
+// the same workload.
+func EfficiencyRatio(a, b StageEnergy) float64 {
+	if a.TotalJ() <= 0 {
+		panic("energy: non-positive reference energy")
+	}
+	return b.TotalJ() / a.TotalJ()
+}

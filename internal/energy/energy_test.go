@@ -1,0 +1,113 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/dram"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/perfmodel"
+	"pimassembler/internal/platforms"
+)
+
+func TestFromMeterSplitsTotal(t *testing.T) {
+	m := dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy())
+	m.Record(dram.CmdAAPCopy, 1)
+	m.Record(dram.CmdAAP2, 1)
+	m.Record(dram.CmdAAP3, 1)
+	m.Record(dram.CmdRead, 1)
+	m.Record(dram.CmdWrite, 1)
+	m.Record(dram.CmdDPU, 1)
+	m.Record(dram.CmdActivate, 1)
+	m.Record(dram.CmdPrecharge, 1)
+	b := FromMeter(m)
+	var sum float64
+	for _, e := range b.ByCommand {
+		sum += e
+	}
+	if math.Abs(sum-b.TotalPJ) > 1e-6 {
+		t.Fatalf("per-kind energies sum to %.3f, meter total %.3f", sum, b.TotalPJ)
+	}
+	if b.LatencyNS != m.LatencyNS {
+		t.Fatal("latency not carried over")
+	}
+}
+
+func TestDominantKind(t *testing.T) {
+	m := dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy())
+	for i := 0; i < 100; i++ {
+		m.Record(dram.CmdAAP3, 1)
+	}
+	m.Record(dram.CmdDPU, 1)
+	b := FromMeter(m)
+	if got := b.DominantKind(); got != dram.CmdAAP3 {
+		t.Fatalf("dominant kind %v, want AAP3", got)
+	}
+	if !strings.Contains(b.String(), "AAP.3src") {
+		t.Fatal("breakdown string missing dominant kind")
+	}
+}
+
+func TestOpEnergyOrdering(t *testing.T) {
+	// The two-row mechanism must be the cheapest XNOR; baselines cost more
+	// both in cycles and per-AAP energy.
+	pa := OpEnergy(platforms.PIMAssembler(), platforms.OpXNOR)
+	for _, s := range []platforms.Spec{platforms.Ambit(), platforms.DRISA1T1C(), platforms.DRISA3T1C()} {
+		if e := OpEnergy(s, platforms.OpXNOR); e <= pa {
+			t.Errorf("%s XNOR energy %.0f pJ not above P-A's %.0f pJ", s.Name, e, pa)
+		}
+	}
+	// Addition costs more than XNOR everywhere (bit-serial).
+	for _, s := range platforms.PIMBaselines() {
+		if OpEnergy(s, platforms.OpAdd) <= OpEnergy(s, platforms.OpXNOR) {
+			t.Errorf("%s: add energy not above XNOR energy", s.Name)
+		}
+	}
+}
+
+func TestOpEnergyPanicsOnBandwidthPlatform(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OpEnergy(platforms.GPU(), platforms.OpXNOR)
+}
+
+func TestStageEnergyMatchesFig9Claim(t *testing.T) {
+	// Paper conclusion: ~5x time and ~7.5x power vs GPU compound to ~37x
+	// energy; verify the energy ratio is far above the time ratio alone.
+	counts := assembly.PaperOpCounts(genome.PaperChr14(), 16)
+	pa := FromStageCost(perfmodel.AssemblyCost(platforms.PIMAssembler(), counts))
+	gpu := FromStageCost(perfmodel.AssemblyCost(platforms.GPU(), counts))
+	r := EfficiencyRatio(pa, gpu)
+	if r < 25 || r > 55 {
+		t.Fatalf("energy ratio %.1f outside the ~37x band implied by 5x·7.5x", r)
+	}
+	if pa.TotalJ() <= 0 || gpu.TotalJ() <= pa.TotalJ() {
+		t.Fatal("energy totals inconsistent")
+	}
+}
+
+func TestStageEnergyComposition(t *testing.T) {
+	counts := assembly.PaperOpCounts(genome.PaperChr14(), 16)
+	c := perfmodel.AssemblyCost(platforms.PIMAssembler(), counts)
+	e := FromStageCost(c)
+	if math.Abs(e.TotalJ()-c.EnergyJ()) > 1e-9*c.EnergyJ() {
+		t.Fatalf("stage energies %.1f J do not sum to cost energy %.1f J", e.TotalJ(), c.EnergyJ())
+	}
+	if e.Platform != "P-A" || e.K != 16 {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestEfficiencyRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EfficiencyRatio(StageEnergy{}, StageEnergy{})
+}

@@ -1,0 +1,177 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/perfmodel"
+	"pimassembler/internal/platforms"
+)
+
+// CSV exporters for the plottable artefacts: each writes one tidy table
+// (header + rows) ready for any plotting tool.
+
+// CSVExperiments lists the experiments with CSV exporters.
+func CSVExperiments() []string {
+	return []string{"fig3b", "table1", "fig9", "fig10", "fig11", "ksweep"}
+}
+
+// WriteCSV exports the named experiment. Unknown names return an error.
+func WriteCSV(name string, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	switch name {
+	case "fig3b":
+		return csvFig3b(cw)
+	case "table1":
+		return csvTableI(cw)
+	case "fig9":
+		return csvFig9(cw)
+	case "fig10":
+		return csvFig10(cw)
+	case "fig11":
+		return csvFig11(cw)
+	case "ksweep":
+		return csvKSweep(cw)
+	default:
+		return fmt.Errorf("eval: no CSV exporter for %q (have %v)", name, CSVExperiments())
+	}
+}
+
+func csvFig3b(w *csv.Writer) error {
+	if err := w.Write([]string{"platform", "op", "bits", "throughput_gbit_s"}); err != nil {
+		return err
+	}
+	for _, r := range platforms.Fig3b() {
+		for i, n := range platforms.Fig3bSizes() {
+			rec := []string{
+				r.Platform, r.Op.String(),
+				strconv.FormatFloat(n, 'f', 0, 64),
+				strconv.FormatFloat(r.BitsPerS[i]/1e9, 'f', 2, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvTableI(w *csv.Writer) error {
+	if err := w.Write([]string{"variation_pct", "tra_err_pct", "two_row_err_pct"}); err != nil {
+		return err
+	}
+	for _, r := range TableI() {
+		rec := []string{
+			strconv.FormatFloat(r.Variation*100, 'f', 0, 64),
+			strconv.FormatFloat(r.TRAErrPct, 'f', 2, 64),
+			strconv.FormatFloat(r.TwoRowErrPct, 'f', 2, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvFig9(w *csv.Writer) error {
+	if err := w.Write([]string{"k", "platform", "hashmap_s", "debruijn_s", "traverse_s", "total_s", "power_w"}); err != nil {
+		return err
+	}
+	fig9 := Fig9()
+	for _, k := range genome.PaperChr14().KmerRanges {
+		for _, c := range fig9[k] {
+			rec := []string{
+				strconv.Itoa(k), c.Platform,
+				fmtF(c.HashmapS), fmtF(c.DeBruijnS), fmtF(c.TraverseS),
+				fmtF(c.TotalS()), fmtF(c.PowerW),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvFig10(w *csv.Writer) error {
+	if err := w.Write([]string{"k", "pd", "delay_s", "power_w", "energy_j"}); err != nil {
+		return err
+	}
+	for _, k := range []int{16, 32} {
+		for _, p := range perfmodel.PdTradeoff(PaperCounts(k), Fig10Pds()) {
+			rec := []string{
+				strconv.Itoa(k), strconv.Itoa(p.Pd),
+				fmtF(p.DelayS), fmtF(p.PowerW), fmtF(p.EnergyJ()),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvFig11(w *csv.Writer) error {
+	if err := w.Write([]string{"k", "platform", "mbr_pct", "rur_pct"}); err != nil {
+		return err
+	}
+	for _, u := range Fig11() {
+		rec := []string{
+			strconv.Itoa(u.K), u.Platform, fmtF(u.MBRPct), fmtF(u.RURPct),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvKSweep is the extension experiment: the GPU-vs-P-A trend over a denser
+// k grid than the paper's four points, showing where the speedup comes from
+// (GPU hash-probe traffic grows with k while P-A's row-parallel compare
+// does not).
+func csvKSweep(w *csv.Writer) error {
+	if err := w.Write([]string{"k", "gpu_total_s", "pa_total_s", "speedup", "hashmap_speedup"}); err != nil {
+		return err
+	}
+	for _, k := range KSweepKs() {
+		gpu, pa := KSweepPoint(k)
+		rec := []string{
+			strconv.Itoa(k),
+			fmtF(gpu.TotalS()), fmtF(pa.TotalS()),
+			fmtF(gpu.TotalS() / pa.TotalS()),
+			fmtF(gpu.HashmapS / pa.HashmapS),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KSweepKs returns the extension sweep's k grid.
+func KSweepKs() []int { return []int{8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32} }
+
+// KSweepPoint prices the chr14 workload at k on GPU and P-A.
+func KSweepPoint(k int) (gpu, pa perfmodel.StageCost) {
+	counts := PaperCounts(k)
+	return perfmodel.AssemblyCost(platforms.GPU(), counts),
+		perfmodel.AssemblyCost(platforms.PIMAssembler(), counts)
+}
+
+// RenderKSweep writes the extension sweep as text.
+func RenderKSweep(w io.Writer) {
+	fmt.Fprintln(w, "Extension — GPU vs P-A over a dense k grid (paper samples k=16,22,26,32)")
+	fmt.Fprintf(w, "  %-4s %10s %10s %9s %17s\n", "k", "GPU (s)", "P-A (s)", "speedup", "hashmap speedup")
+	for _, k := range KSweepKs() {
+		gpu, pa := KSweepPoint(k)
+		fmt.Fprintf(w, "  %-4d %10.1f %10.1f %9.1f %17.1f\n",
+			k, gpu.TotalS(), pa.TotalS(), gpu.TotalS()/pa.TotalS(), gpu.HashmapS/pa.HashmapS)
+	}
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -1,0 +1,179 @@
+// Package genome provides the DNA substrate for PIM-Assembler: the 2-bit
+// base encoding of Fig. 7, sequence containers, FASTA/FASTQ input/output,
+// and the deterministic synthetic genome and short-read generator that
+// substitutes for the paper's human chromosome-14 dataset (DESIGN.md §1).
+package genome
+
+import "fmt"
+
+// Base is one nucleotide. The binary code follows the paper's Fig. 7 table:
+// T=00, G=01, A=10, C=11.
+type Base byte
+
+const (
+	T Base = 0b00
+	G Base = 0b01
+	A Base = 0b10
+	C Base = 0b11
+)
+
+// BaseBits is the encoding width of one base.
+const BaseBits = 2
+
+var baseLetters = [4]byte{'T', 'G', 'A', 'C'}
+
+// Letter returns the IUPAC letter of the base.
+func (b Base) Letter() byte { return baseLetters[b&3] }
+
+// String implements fmt.Stringer.
+func (b Base) String() string { return string(baseLetters[b&3]) }
+
+// Complement returns the Watson-Crick complement. Under the Fig. 7 encoding
+// the pairs A↔T (10↔00) and C↔G (11↔01) differ only in the high bit, so
+// complementation is a single bit flip — one of the encoding's hardware
+// conveniences.
+func (b Base) Complement() Base { return b ^ 0b10 }
+
+// ParseBase converts an ASCII letter (upper or lower case) to a Base.
+func ParseBase(c byte) (Base, error) {
+	switch c {
+	case 'A', 'a':
+		return A, nil
+	case 'C', 'c':
+		return C, nil
+	case 'G', 'g':
+		return G, nil
+	case 'T', 't', 'U', 'u':
+		return T, nil
+	default:
+		return 0, fmt.Errorf("genome: invalid base %q", c)
+	}
+}
+
+// Sequence is a DNA sequence stored 2-bit packed, four bases per byte.
+type Sequence struct {
+	n      int
+	packed []byte
+}
+
+// NewSequence allocates an all-T sequence of length n (T encodes as 00).
+func NewSequence(n int) *Sequence {
+	if n < 0 {
+		panic(fmt.Sprintf("genome: negative length %d", n))
+	}
+	return &Sequence{n: n, packed: make([]byte, (n+3)/4)}
+}
+
+// FromString parses an ASCII sequence. It returns an error on any character
+// that is not A/C/G/T (case-insensitive; U maps to T).
+func FromString(s string) (*Sequence, error) {
+	seq := NewSequence(len(s))
+	for i := 0; i < len(s); i++ {
+		b, err := ParseBase(s[i])
+		if err != nil {
+			return nil, fmt.Errorf("position %d: %w", i, err)
+		}
+		seq.SetBase(i, b)
+	}
+	return seq, nil
+}
+
+// MustFromString is FromString for trusted literals; it panics on error.
+func MustFromString(s string) *Sequence {
+	seq, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return seq
+}
+
+// Len returns the number of bases.
+func (s *Sequence) Len() int { return s.n }
+
+// Base returns the base at position i.
+func (s *Sequence) Base(i int) Base {
+	s.check(i)
+	return Base(s.packed[i/4]>>(uint(i%4)*2) & 3)
+}
+
+// SetBase assigns position i.
+func (s *Sequence) SetBase(i int, b Base) {
+	s.check(i)
+	shift := uint(i%4) * 2
+	s.packed[i/4] = s.packed[i/4]&^(3<<shift) | byte(b&3)<<shift
+}
+
+func (s *Sequence) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("genome: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Subsequence returns a copy of positions [from, from+length).
+func (s *Sequence) Subsequence(from, length int) *Sequence {
+	if from < 0 || length < 0 || from+length > s.n {
+		panic(fmt.Sprintf("genome: subsequence [%d,%d+%d) out of range [0,%d)", from, from, length, s.n))
+	}
+	out := NewSequence(length)
+	for i := 0; i < length; i++ {
+		out.SetBase(i, s.Base(from+i))
+	}
+	return out
+}
+
+// ReverseComplement returns the reverse complement.
+func (s *Sequence) ReverseComplement() *Sequence {
+	out := NewSequence(s.n)
+	for i := 0; i < s.n; i++ {
+		out.SetBase(i, s.Base(s.n-1-i).Complement())
+	}
+	return out
+}
+
+// Equal reports whether two sequences hold identical bases.
+func (s *Sequence) Equal(o *Sequence) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := 0; i < s.n; i++ {
+		if s.Base(i) != o.Base(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the sequence as ASCII letters.
+func (s *Sequence) String() string {
+	out := make([]byte, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.Base(i).Letter()
+	}
+	return string(out)
+}
+
+// Append returns a new sequence that is s followed by o.
+func (s *Sequence) Append(o *Sequence) *Sequence {
+	out := NewSequence(s.n + o.n)
+	for i := 0; i < s.n; i++ {
+		out.SetBase(i, s.Base(i))
+	}
+	for i := 0; i < o.n; i++ {
+		out.SetBase(s.n+i, o.Base(i))
+	}
+	return out
+}
+
+// PackBits writes the 2-bit encoding of positions [from, from+count) into a
+// uint64, base `from` in the least-significant bits — the wire format rows
+// of the PIM k-mer region store (Fig. 6: 128 bp per 256-bit row).
+func (s *Sequence) PackBits(from, count int) uint64 {
+	if count < 0 || count > 32 {
+		panic(fmt.Sprintf("genome: PackBits count %d exceeds 32 bases per word", count))
+	}
+	var x uint64
+	for i := 0; i < count; i++ {
+		x |= uint64(s.Base(from+i)) << (uint(i) * BaseBits)
+	}
+	return x
+}

@@ -1,0 +1,65 @@
+package genome
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parsers must never panic on arbitrary input — they return errors.
+
+func FuzzFromString(f *testing.F) {
+	for _, seed := range []string{"", "ACGT", "acgtu", "ACGTN", "A C G T", strings.Repeat("ACGT", 100)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		seq, err := FromString(s)
+		if err != nil {
+			return
+		}
+		if seq.Len() != len(s) {
+			t.Fatalf("parsed length %d from %d input bytes", seq.Len(), len(s))
+		}
+		if got := seq.String(); !strings.EqualFold(got, strings.ReplaceAll(strings.ReplaceAll(s, "u", "t"), "U", "T")) {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	})
+}
+
+func FuzzReadFASTA(f *testing.F) {
+	for _, seed := range []string{
+		"", ">x\nACGT\n", ">a\nAC\nGT\n>b\nTTTT\n", "ACGT\n", ">only header\n",
+		">x\nACGN\n", ">\n\n>\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		recs, err := ReadFASTA(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.Seq == nil {
+				t.Fatal("record with nil sequence")
+			}
+		}
+	})
+}
+
+func FuzzReadFASTQ(f *testing.F) {
+	for _, seed := range []string{
+		"", "@r\nACGT\n+\nIIII\n", "@r\nACGT\n", "garbage", "@r\nACGT\nIIII\nIIII\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		recs, err := ReadFASTQ(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.Seq == nil {
+				t.Fatal("record with nil sequence")
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package genome
+
+import (
+	"fmt"
+
+	"pimassembler/internal/stats"
+)
+
+// Chr14Workload captures the paper's §IV experimental workload: short reads
+// of length 101 sampled from human chromosome 14, 45,711,162 of them
+// (~9.2 GB with headers), k ∈ {16, 22, 26, 32}. The analytical performance
+// harness uses these counts directly; functional simulation uses a scaled
+// synthetic genome from GenerateGenome with the same read length.
+type Chr14Workload struct {
+	GenomeLen  int64
+	ReadCount  int64
+	ReadLen    int
+	KmerRanges []int
+}
+
+// PaperChr14 returns the paper's workload constants. The genome length is
+// the non-ambiguous extent of GRCh38 chromosome 14 (≈87.2 Mbp).
+func PaperChr14() Chr14Workload {
+	return Chr14Workload{
+		GenomeLen:  87_191_216,
+		ReadCount:  45_711_162,
+		ReadLen:    101,
+		KmerRanges: []int{16, 22, 26, 32},
+	}
+}
+
+// KmersPerRead returns the number of k-mers one read yields: L - k + 1.
+func (w Chr14Workload) KmersPerRead(k int) int64 {
+	if k <= 0 || k > w.ReadLen {
+		panic(fmt.Sprintf("genome: k=%d outside read length %d", k, w.ReadLen))
+	}
+	return int64(w.ReadLen - k + 1)
+}
+
+// TotalKmers returns the total k-mer count across all reads.
+func (w Chr14Workload) TotalKmers(k int) int64 { return w.ReadCount * w.KmersPerRead(k) }
+
+// DistinctKmers estimates the number of distinct k-mers: bounded by both the
+// genome's k-mer positions and the 4^k keyspace.
+func (w Chr14Workload) DistinctKmers(k int) int64 {
+	positions := w.GenomeLen - int64(k) + 1
+	if k < 32 {
+		if space := int64(1) << (2 * uint(k)); space < positions {
+			return space
+		}
+	}
+	return positions
+}
+
+// Coverage returns the average sequencing depth of the workload.
+func (w Chr14Workload) Coverage() float64 {
+	return float64(w.ReadCount) * float64(w.ReadLen) / float64(w.GenomeLen)
+}
+
+// GenerateGenome produces a deterministic random genome of length n with
+// uniform base composition — the synthetic stand-in for the NCBI reference
+// (DESIGN.md §1: the evaluation depends on read count, length, and k, not on
+// biological base content).
+func GenerateGenome(n int, rng *stats.RNG) *Sequence {
+	seq := NewSequence(n)
+	for i := 0; i < n; i++ {
+		seq.SetBase(i, Base(rng.Intn(4)))
+	}
+	return seq
+}
+
+// GenerateRepetitiveGenome produces a genome with planted tandem repeats,
+// exercising the assembler's branch handling: a random core is generated,
+// then segments of repeatLen are copied to repeatCount random positions.
+func GenerateRepetitiveGenome(n, repeatLen, repeatCount int, rng *stats.RNG) *Sequence {
+	if repeatLen > n {
+		panic(fmt.Sprintf("genome: repeat length %d exceeds genome length %d", repeatLen, n))
+	}
+	seq := GenerateGenome(n, rng)
+	for r := 0; r < repeatCount; r++ {
+		src := rng.Intn(n - repeatLen + 1)
+		dst := rng.Intn(n - repeatLen + 1)
+		for i := 0; i < repeatLen; i++ {
+			seq.SetBase(dst+i, seq.Base(src+i))
+		}
+	}
+	return seq
+}
+
+// ReadSampler draws fixed-length substrings uniformly from a genome,
+// mirroring the paper's "randomly sampling the chromosome" protocol, with an
+// optional per-base substitution error rate for robustness studies.
+type ReadSampler struct {
+	Genome    *Sequence
+	ReadLen   int
+	ErrorRate float64
+	rng       *stats.RNG
+}
+
+// NewReadSampler constructs a sampler. readLen must fit in the genome.
+func NewReadSampler(g *Sequence, readLen int, errorRate float64, rng *stats.RNG) *ReadSampler {
+	if readLen <= 0 || readLen > g.Len() {
+		panic(fmt.Sprintf("genome: read length %d outside genome length %d", readLen, g.Len()))
+	}
+	if errorRate < 0 || errorRate >= 1 {
+		panic(fmt.Sprintf("genome: error rate %v outside [0,1)", errorRate))
+	}
+	return &ReadSampler{Genome: g, ReadLen: readLen, ErrorRate: errorRate, rng: rng}
+}
+
+// Next draws one read.
+func (s *ReadSampler) Next() *Sequence {
+	pos := s.rng.Intn(s.Genome.Len() - s.ReadLen + 1)
+	read := s.Genome.Subsequence(pos, s.ReadLen)
+	if s.ErrorRate > 0 {
+		for i := 0; i < s.ReadLen; i++ {
+			if s.rng.Float64() < s.ErrorRate {
+				// Substitute with one of the three other bases.
+				read.SetBase(i, Base((int(read.Base(i))+1+s.rng.Intn(3))%4))
+			}
+		}
+	}
+	return read
+}
+
+// Sample draws n reads.
+func (s *ReadSampler) Sample(n int) []*Sequence {
+	out := make([]*Sequence, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// TilingReads returns reads covering the genome end to end with the given
+// overlap (stride = readLen - overlap), guaranteeing every genome k-mer with
+// k ≤ overlap+1 appears in some read. Deterministic coverage makes it the
+// right input for exactness tests of the assembly pipeline.
+func TilingReads(g *Sequence, readLen, overlap int) []*Sequence {
+	if readLen <= 0 || readLen > g.Len() {
+		panic(fmt.Sprintf("genome: read length %d outside genome length %d", readLen, g.Len()))
+	}
+	if overlap < 0 || overlap >= readLen {
+		panic(fmt.Sprintf("genome: overlap %d outside [0,%d)", overlap, readLen))
+	}
+	stride := readLen - overlap
+	var out []*Sequence
+	for pos := 0; ; pos += stride {
+		if pos+readLen >= g.Len() {
+			out = append(out, g.Subsequence(g.Len()-readLen, readLen))
+			break
+		}
+		out = append(out, g.Subsequence(pos, readLen))
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"pimassembler/internal/bitvec"
+	"pimassembler/internal/dram"
+	"pimassembler/internal/isa"
+	"pimassembler/internal/subarray"
+)
+
+// A complete PIM_XNOR written in the AAP instruction set: stage operands
+// into compute rows with type-1 AAPs, compute with a type-2 AAP, and check
+// the match with the DPU.
+func ExampleBuilder() {
+	s := subarray.New(dram.Default(), dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy()))
+	row := bitvec.New(256)
+	row.Fill(true)
+	s.Poke(0, row)
+	s.Poke(1, row)
+
+	x1, x2 := s.ComputeRow(0), s.ComputeRow(1)
+	prog := isa.NewBuilder(256).
+		Copy(0, x1).
+		Copy(1, x2).
+		XNOR(x1, x2, 10).
+		Match(10).
+		Program()
+	fmt.Print(prog)
+
+	e := isa.NewExecutor(s)
+	if err := e.Run(prog); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("match:", e.MatchResults[0])
+	// Output:
+	//    0: AAP1 r0 -> r1016 (size=256)
+	//    1: AAP1 r1 -> r1017 (size=256)
+	//    2: AAP2.xnor r1016 r1017 -> r10 (size=256)
+	//    3: DPU.match r10
+	// match: true
+}

@@ -1,0 +1,103 @@
+package isa
+
+import (
+	"fmt"
+
+	"pimassembler/internal/subarray"
+)
+
+// Executor runs programs against one functional sub-array, enforcing the
+// hardware's operand rules: a type-2/3 AAP's sources must be compute rows
+// (only the modified row decoder multi-activates), and sizes must match the
+// row width. Staging operands into compute rows is the program's job (via
+// Copy), exactly as the controller issues it.
+type Executor struct {
+	sub *subarray.Subarray
+	// MatchResults collects the outcome of every DPU match instruction in
+	// program order.
+	MatchResults []bool
+	// Executed counts completed instructions.
+	Executed int
+}
+
+// NewExecutor wraps a sub-array.
+func NewExecutor(s *subarray.Subarray) *Executor {
+	return &Executor{sub: s}
+}
+
+// Run executes the whole program, returning the first error. Instruction
+// effects up to the error remain applied (device semantics).
+func (e *Executor) Run(p Program) error {
+	for idx, ins := range p {
+		if err := e.Step(ins); err != nil {
+			return fmt.Errorf("isa: instruction %d (%s): %w", idx, ins, err)
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (e *Executor) Step(ins Instruction) error {
+	if err := e.check(ins); err != nil {
+		return err
+	}
+	switch ins.Op {
+	case OpAAP1:
+		e.sub.RowClone(int(ins.Src[0]), int(ins.Dst))
+	case OpAAP2:
+		switch ins.Mode {
+		case ModeXNOR:
+			e.sub.TwoRowXNOR(int(ins.Src[0]), int(ins.Src[1]), int(ins.Dst))
+		case ModeXOR:
+			e.sub.TwoRowXOR(int(ins.Src[0]), int(ins.Src[1]), int(ins.Dst))
+		case ModeSum:
+			e.sub.SumWithLatch(int(ins.Src[0]), int(ins.Src[1]), int(ins.Dst))
+		default:
+			return fmt.Errorf("invalid mode %v", ins.Mode)
+		}
+	case OpAAP3:
+		e.sub.TRACarry(int(ins.Src[0]), int(ins.Src[1]), int(ins.Src[2]), int(ins.Dst))
+	case OpDPUMatch:
+		e.MatchResults = append(e.MatchResults, e.sub.MatchAllOnes(int(ins.Src[0])))
+	case OpDPUReset:
+		e.sub.ResetLatch()
+	default:
+		return fmt.Errorf("unknown opcode %v", ins.Op)
+	}
+	e.Executed++
+	return nil
+}
+
+// check validates operand ranges and the paper's size rule before touching
+// the array.
+func (e *Executor) check(ins Instruction) error {
+	rows := e.sub.Rows()
+	cols := uint32(e.sub.Cols())
+	switch ins.Op {
+	case OpAAP1, OpAAP2, OpAAP3:
+		if ins.Size == 0 || ins.Size%cols != 0 {
+			return fmt.Errorf("size %d is not a multiple of the %d-bit row; pad the vector", ins.Size, cols)
+		}
+		if ins.Size != cols {
+			return fmt.Errorf("size %d spans multiple rows; split across AAPs", ins.Size)
+		}
+		if int(ins.Dst) >= rows {
+			return fmt.Errorf("destination row %d out of range", ins.Dst)
+		}
+	}
+	for s := 0; s < ins.srcCount(); s++ {
+		if int(ins.Src[s]) >= rows {
+			return fmt.Errorf("source row %d out of range", ins.Src[s])
+		}
+	}
+	// Multi-row activation is only wired through the MRD's compute rows.
+	if ins.Op == OpAAP2 || ins.Op == OpAAP3 {
+		for s := 0; s < ins.srcCount(); s++ {
+			if !e.sub.IsComputeRow(int(ins.Src[s])) {
+				return fmt.Errorf("source row %d is not a compute row; only x1..x%d multi-activate",
+					ins.Src[s], 8)
+			}
+		}
+	}
+	return nil
+}

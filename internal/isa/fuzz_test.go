@@ -1,0 +1,56 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeProgram: arbitrary bytes must decode cleanly or error — never
+// panic — and everything that decodes must re-encode to the same bytes
+// (whole instructions only).
+func FuzzDecodeProgram(f *testing.F) {
+	var buf bytes.Buffer
+	if err := (NewBuilder(256).Copy(1, 2).XNOR(1016, 1017, 3).Program()).Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 28))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := DecodeProgram(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := prog.Encode(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("decode/encode not inverse for %d bytes", len(data))
+		}
+		// The disassembler must render anything that decoded.
+		_ = prog.String()
+		_ = prog.Profile()
+	})
+}
+
+// FuzzExecutorStep: any decoded instruction must either execute or return
+// an error — never panic — against a real sub-array.
+func FuzzExecutorStep(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint16(0), uint16(1), uint16(2), uint16(3), uint32(256))
+	f.Add(uint8(2), uint8(0), uint16(1016), uint16(1017), uint16(0), uint16(5), uint32(256))
+	f.Add(uint8(3), uint8(2), uint16(9999), uint16(1), uint16(2), uint16(3), uint32(100))
+	f.Fuzz(func(t *testing.T, op, mode uint8, s1, s2, s3, dst uint16, size uint32) {
+		ins := Instruction{
+			Op:   Opcode(op),
+			Mode: Mode(mode),
+			Src:  [3]uint16{s1, s2, s3},
+			Dst:  dst,
+			Size: size,
+		}
+		e := NewExecutor(newSub())
+		_ = e.Step(ins) // must not panic
+	})
+}

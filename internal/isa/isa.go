@@ -1,0 +1,301 @@
+// Package isa implements PIM-Assembler's software interface (paper §II-B,
+// "Software Support"): the three AAP-based instruction types that differ
+// only in their number of activated source rows —
+//
+//	AAP(src, des, size)               type-1: RowClone copy
+//	AAP(src1, src2, des, size)        type-2: two-row activation (X(N)OR)
+//	AAP(src1, src2, src3, des, size)  type-3: triple-row activation (TRA)
+//
+// plus a DPU escape for the MAT-level reductions. Programs are sequences of
+// instructions with a binary encoding, an assembler/disassembler, and an
+// executor that drives the functional sub-array model while enforcing the
+// paper's operand rules (vector sizes must be a multiple of the DRAM row
+// size; multi-row activation only through the compute rows).
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Opcode enumerates the instruction types.
+type Opcode uint8
+
+const (
+	// OpAAP1 is the type-1 copy AAP.
+	OpAAP1 Opcode = iota + 1
+	// OpAAP2 is the type-2 two-row-activation AAP. Mode selects the SA
+	// configuration (XNOR2 to BL, XOR2 to BL, or Sum with the latch).
+	OpAAP2
+	// OpAAP3 is the type-3 triple-row-activation AAP (majority/carry).
+	OpAAP3
+	// OpDPUMatch is the DPU row-wide AND reduction (match detect).
+	OpDPUMatch
+	// OpDPUReset clears the SA carry latches.
+	OpDPUReset
+)
+
+var opcodeNames = map[Opcode]string{
+	OpAAP1:     "AAP1",
+	OpAAP2:     "AAP2",
+	OpAAP3:     "AAP3",
+	OpDPUMatch: "DPU.match",
+	OpDPUReset: "DPU.reset",
+}
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	if n, ok := opcodeNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// Mode selects the type-2 AAP's sense-amplifier configuration.
+type Mode uint8
+
+const (
+	// ModeXNOR drives dst with XNOR2 (enable set 01110).
+	ModeXNOR Mode = iota
+	// ModeXOR drives dst with XOR2 (complementary MUX selection).
+	ModeXOR
+	// ModeSum drives dst with XOR2 ⊕ latched carry (the addition Sum
+	// cycle).
+	ModeSum
+)
+
+var modeNames = [...]string{ModeXNOR: "xnor", ModeXOR: "xor", ModeSum: "sum"}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Instruction is one decoded AAP-class instruction. Src rows beyond the
+// opcode's arity are ignored. Size is in bits and must be a multiple of the
+// row size (the padding rule); the current executor drives one sub-array,
+// so Size equals one row.
+type Instruction struct {
+	Op   Opcode
+	Mode Mode
+	Src  [3]uint16
+	Dst  uint16
+	Size uint32
+}
+
+// srcCount returns the operand arity of the opcode.
+func (i Instruction) srcCount() int {
+	switch i.Op {
+	case OpAAP1, OpDPUMatch:
+		return 1
+	case OpAAP2:
+		return 2
+	case OpAAP3:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// String renders assembler-style text.
+func (i Instruction) String() string {
+	var sb strings.Builder
+	sb.WriteString(i.Op.String())
+	if i.Op == OpAAP2 {
+		sb.WriteString("." + i.Mode.String())
+	}
+	for s := 0; s < i.srcCount(); s++ {
+		fmt.Fprintf(&sb, " r%d", i.Src[s])
+	}
+	switch i.Op {
+	case OpAAP1, OpAAP2, OpAAP3:
+		fmt.Fprintf(&sb, " -> r%d (size=%d)", i.Dst, i.Size)
+	}
+	return sb.String()
+}
+
+// instrWords is the fixed encoding length: opcode+mode (2 bytes), three
+// sources + destination (8 bytes), size (4 bytes).
+const instrBytes = 14
+
+// Encode writes the binary form.
+func (i Instruction) Encode(w io.Writer) error {
+	var buf [instrBytes]byte
+	buf[0] = byte(i.Op)
+	buf[1] = byte(i.Mode)
+	binary.LittleEndian.PutUint16(buf[2:], i.Src[0])
+	binary.LittleEndian.PutUint16(buf[4:], i.Src[1])
+	binary.LittleEndian.PutUint16(buf[6:], i.Src[2])
+	binary.LittleEndian.PutUint16(buf[8:], i.Dst)
+	binary.LittleEndian.PutUint32(buf[10:], i.Size)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// Decode reads one instruction; io.EOF signals a clean end of stream.
+func Decode(r io.Reader) (Instruction, error) {
+	var buf [instrBytes]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Instruction{}, fmt.Errorf("isa: truncated instruction")
+		}
+		return Instruction{}, err
+	}
+	i := Instruction{
+		Op:   Opcode(buf[0]),
+		Mode: Mode(buf[1]),
+		Dst:  binary.LittleEndian.Uint16(buf[8:]),
+		Size: binary.LittleEndian.Uint32(buf[10:]),
+	}
+	i.Src[0] = binary.LittleEndian.Uint16(buf[2:])
+	i.Src[1] = binary.LittleEndian.Uint16(buf[4:])
+	i.Src[2] = binary.LittleEndian.Uint16(buf[6:])
+	if _, ok := opcodeNames[i.Op]; !ok {
+		return Instruction{}, fmt.Errorf("isa: unknown opcode %d", buf[0])
+	}
+	return i, nil
+}
+
+// Program is an instruction sequence.
+type Program []Instruction
+
+// Encode writes the whole program.
+func (p Program) Encode(w io.Writer) error {
+	for idx, ins := range p {
+		if err := ins.Encode(w); err != nil {
+			return fmt.Errorf("isa: instruction %d: %w", idx, err)
+		}
+	}
+	return nil
+}
+
+// DecodeProgram reads instructions until EOF.
+func DecodeProgram(r io.Reader) (Program, error) {
+	var p Program
+	for {
+		ins, err := Decode(r)
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, ins)
+	}
+}
+
+// String renders the program as assembler text.
+func (p Program) String() string {
+	var sb strings.Builder
+	for idx, ins := range p {
+		fmt.Fprintf(&sb, "%4d: %s\n", idx, ins)
+	}
+	return sb.String()
+}
+
+// Builder assembles programs with the operand conventions of the executor.
+type Builder struct {
+	prog    Program
+	rowBits uint32
+}
+
+// NewBuilder creates a builder for a given row size in bits.
+func NewBuilder(rowBits int) *Builder {
+	if rowBits <= 0 {
+		panic(fmt.Sprintf("isa: non-positive row size %d", rowBits))
+	}
+	return &Builder{rowBits: uint32(rowBits)}
+}
+
+// Copy appends a type-1 AAP.
+func (b *Builder) Copy(src, dst int) *Builder {
+	b.prog = append(b.prog, Instruction{
+		Op: OpAAP1, Src: [3]uint16{uint16(src)}, Dst: uint16(dst), Size: b.rowBits,
+	})
+	return b
+}
+
+// XNOR appends a type-2 AAP in XNOR mode.
+func (b *Builder) XNOR(src1, src2, dst int) *Builder {
+	return b.aap2(ModeXNOR, src1, src2, dst)
+}
+
+// XOR appends a type-2 AAP in XOR mode.
+func (b *Builder) XOR(src1, src2, dst int) *Builder {
+	return b.aap2(ModeXOR, src1, src2, dst)
+}
+
+// Sum appends a type-2 AAP in Sum (latched carry) mode.
+func (b *Builder) Sum(src1, src2, dst int) *Builder {
+	return b.aap2(ModeSum, src1, src2, dst)
+}
+
+func (b *Builder) aap2(m Mode, src1, src2, dst int) *Builder {
+	b.prog = append(b.prog, Instruction{
+		Op: OpAAP2, Mode: m,
+		Src: [3]uint16{uint16(src1), uint16(src2)}, Dst: uint16(dst), Size: b.rowBits,
+	})
+	return b
+}
+
+// TRA appends a type-3 AAP (majority + carry latch).
+func (b *Builder) TRA(src1, src2, src3, dst int) *Builder {
+	b.prog = append(b.prog, Instruction{
+		Op:  OpAAP3,
+		Src: [3]uint16{uint16(src1), uint16(src2), uint16(src3)}, Dst: uint16(dst), Size: b.rowBits,
+	})
+	return b
+}
+
+// Match appends a DPU row-wide AND reduction of row src.
+func (b *Builder) Match(src int) *Builder {
+	b.prog = append(b.prog, Instruction{Op: OpDPUMatch, Src: [3]uint16{uint16(src)}})
+	return b
+}
+
+// ResetLatch appends a DPU latch clear.
+func (b *Builder) ResetLatch() *Builder {
+	b.prog = append(b.prog, Instruction{Op: OpDPUReset})
+	return b
+}
+
+// Program returns the assembled program.
+func (b *Builder) Program() Program { return b.prog }
+
+// Stats summarises a program's instruction mix — the trace statistics the
+// controller's profiler reports.
+type Stats struct {
+	ByOpcode map[Opcode]int
+	Total    int
+	// ComputeFraction is the share of type-2/3 AAPs (real in-memory
+	// computation) versus staging copies and DPU housekeeping.
+	ComputeFraction float64
+}
+
+// Profile computes the instruction mix of a program.
+func (p Program) Profile() Stats {
+	st := Stats{ByOpcode: make(map[Opcode]int), Total: len(p)}
+	compute := 0
+	for _, ins := range p {
+		st.ByOpcode[ins.Op]++
+		if ins.Op == OpAAP2 || ins.Op == OpAAP3 {
+			compute++
+		}
+	}
+	if st.Total > 0 {
+		st.ComputeFraction = float64(compute) / float64(st.Total)
+	}
+	return st
+}
+
+// String renders the mix.
+func (s Stats) String() string {
+	return fmt.Sprintf("isa.Stats{total=%d, AAP1=%d, AAP2=%d, AAP3=%d, DPU=%d, compute=%.0f%%}",
+		s.Total, s.ByOpcode[OpAAP1], s.ByOpcode[OpAAP2], s.ByOpcode[OpAAP3],
+		s.ByOpcode[OpDPUMatch]+s.ByOpcode[OpDPUReset], 100*s.ComputeFraction)
+}

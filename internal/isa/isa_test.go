@@ -1,0 +1,291 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pimassembler/internal/bitvec"
+	"pimassembler/internal/dram"
+	"pimassembler/internal/stats"
+	"pimassembler/internal/subarray"
+)
+
+func newSub() *subarray.Subarray {
+	return subarray.New(dram.Default(), dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy()))
+}
+
+func randomRow(rng *stats.RNG, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Float64() < 0.5)
+	}
+	return v
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prog := NewBuilder(256).
+		Copy(5, 1016).
+		Copy(6, 1017).
+		XNOR(1016, 1017, 7).
+		XOR(1016, 1017, 8).
+		Sum(1016, 1017, 9).
+		TRA(1016, 1017, 1018, 10).
+		Match(7).
+		ResetLatch().
+		Program()
+	var buf bytes.Buffer
+	if err := prog.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(prog)*14 {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), len(prog)*14)
+	}
+	back, err := DecodeProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(prog) {
+		t.Fatalf("decoded %d instructions, want %d", len(back), len(prog))
+	}
+	for i := range prog {
+		if back[i] != prog[i] {
+			t.Fatalf("instruction %d: %+v != %+v", i, back[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(make([]byte, 14))); err == nil {
+		t.Fatal("opcode 0 accepted")
+	}
+	if _, err := Decode(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("truncated instruction accepted")
+	}
+}
+
+func TestProgramText(t *testing.T) {
+	prog := NewBuilder(256).Copy(1, 2).XNOR(1016, 1017, 3).Program()
+	text := prog.String()
+	for _, want := range []string{"AAP1 r1 -> r2", "AAP2.xnor r1016 r1017 -> r3"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("program text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExecutorXNORProgram(t *testing.T) {
+	s := newSub()
+	rng := stats.NewRNG(1)
+	a, b := randomRow(rng, 256), randomRow(rng, 256)
+	s.Poke(0, a)
+	s.Poke(1, b)
+	x1, x2 := s.ComputeRow(0), s.ComputeRow(1)
+	prog := NewBuilder(256).
+		Copy(0, x1).
+		Copy(1, x2).
+		XNOR(x1, x2, 10).
+		Match(10).
+		Program()
+	e := NewExecutor(s)
+	if err := e.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	want := bitvec.New(256)
+	want.Xnor(a, b)
+	if !s.Peek(10).Equal(want) {
+		t.Fatal("program produced wrong XNOR")
+	}
+	if len(e.MatchResults) != 1 {
+		t.Fatal("DPU match not recorded")
+	}
+	if e.MatchResults[0] != want.AllOnes() {
+		t.Fatal("match result wrong")
+	}
+	if e.Executed != 4 {
+		t.Fatalf("executed %d, want 4", e.Executed)
+	}
+}
+
+func TestExecutorFullAdderProgram(t *testing.T) {
+	// A complete 4-bit bit-serial addition written purely in the ISA.
+	s := newSub()
+	rng := stats.NewRNG(2)
+	const m = 4
+	aBase, bBase, dstBase, carryRow := 0, 10, 20, 30
+	av := make([]uint64, 256)
+	bv := make([]uint64, 256)
+	for lane := 0; lane < 256; lane++ {
+		av[lane] = rng.Uint64() & (1<<m - 1)
+		bv[lane] = rng.Uint64() & (1<<m - 1)
+	}
+	for bit := 0; bit < m; bit++ {
+		ra, rb := bitvec.New(256), bitvec.New(256)
+		for lane := 0; lane < 256; lane++ {
+			ra.Set(lane, av[lane]&(1<<uint(bit)) != 0)
+			rb.Set(lane, bv[lane]&(1<<uint(bit)) != 0)
+		}
+		s.Poke(aBase+bit, ra)
+		s.Poke(bBase+bit, rb)
+	}
+	zeroRow := 40
+	s.Poke(zeroRow, bitvec.New(256))
+
+	x1, x2, x3 := s.ComputeRow(0), s.ComputeRow(1), s.ComputeRow(2)
+	b := NewBuilder(256).ResetLatch().Copy(zeroRow, x3)
+	for bit := 0; bit < m; bit++ {
+		b.Copy(aBase+bit, x1).Copy(bBase+bit, x2).Sum(x1, x2, dstBase+bit)
+		b.Copy(aBase+bit, x1).Copy(bBase+bit, x2).TRA(x1, x2, x3, carryRow)
+	}
+	b.Copy(carryRow, dstBase+m)
+
+	if err := NewExecutor(s).Run(b.Program()); err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < 256; lane++ {
+		var got uint64
+		for bit := 0; bit <= m; bit++ {
+			if s.Peek(dstBase + bit).Get(lane) {
+				got |= 1 << uint(bit)
+			}
+		}
+		if got != av[lane]+bv[lane] {
+			t.Fatalf("lane %d: %d + %d = %d", lane, av[lane], bv[lane], got)
+		}
+	}
+}
+
+func TestExecutorRejectsDataRowActivation(t *testing.T) {
+	s := newSub()
+	prog := Program{{Op: OpAAP2, Mode: ModeXNOR, Src: [3]uint16{1, 2}, Dst: 3, Size: 256}}
+	if err := NewExecutor(s).Run(prog); err == nil {
+		t.Fatal("two-row activation of data rows accepted")
+	}
+}
+
+func TestExecutorEnforcesPaddingRule(t *testing.T) {
+	s := newSub()
+	x1, x2 := uint16(s.ComputeRow(0)), uint16(s.ComputeRow(1))
+	for _, size := range []uint32{0, 100, 257} {
+		prog := Program{{Op: OpAAP2, Mode: ModeXNOR, Src: [3]uint16{x1, x2}, Dst: 3, Size: size}}
+		if err := NewExecutor(s).Run(prog); err == nil {
+			t.Errorf("size %d accepted; must be a row multiple", size)
+		}
+	}
+}
+
+func TestExecutorRejectsOutOfRangeRows(t *testing.T) {
+	s := newSub()
+	prog := Program{{Op: OpAAP1, Src: [3]uint16{5000}, Dst: 1, Size: 256}}
+	if err := NewExecutor(s).Run(prog); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	prog = Program{{Op: OpAAP1, Src: [3]uint16{1}, Dst: 5000, Size: 256}}
+	if err := NewExecutor(s).Run(prog); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+func TestBuilderPanicsOnBadRowSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(0)
+}
+
+// Property: any program built from the Builder round-trips the binary
+// encoding exactly.
+func TestEncodingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		b := NewBuilder(256)
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			r := func() int { return rng.Intn(1024) }
+			switch rng.Intn(6) {
+			case 0:
+				b.Copy(r(), r())
+			case 1:
+				b.XNOR(r(), r(), r())
+			case 2:
+				b.XOR(r(), r(), r())
+			case 3:
+				b.Sum(r(), r(), r())
+			case 4:
+				b.TRA(r(), r(), r(), r())
+			case 5:
+				b.Match(r())
+			}
+		}
+		prog := b.Program()
+		var buf bytes.Buffer
+		if prog.Encode(&buf) != nil {
+			return false
+		}
+		back, err := DecodeProgram(&buf)
+		if err != nil || len(back) != len(prog) {
+			return false
+		}
+		for i := range prog {
+			if back[i] != prog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-check: the ISA-level XNOR program and the sub-array convenience op
+// account identical command streams.
+func TestISACostMatchesDirectOps(t *testing.T) {
+	direct := newSub()
+	rng := stats.NewRNG(3)
+	a, b := randomRow(rng, 256), randomRow(rng, 256)
+	direct.Poke(0, a)
+	direct.Poke(1, b)
+	direct.XNOR(0, 1, 10)
+
+	viaISA := newSub()
+	viaISA.Poke(0, a)
+	viaISA.Poke(1, b)
+	x1, x2 := viaISA.ComputeRow(0), viaISA.ComputeRow(1)
+	prog := NewBuilder(256).Copy(0, x1).Copy(1, x2).XNOR(x1, x2, 10).Program()
+	if err := NewExecutor(viaISA).Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if direct.Meter().LatencyNS != viaISA.Meter().LatencyNS {
+		t.Fatalf("latency differs: direct %.1f, ISA %.1f",
+			direct.Meter().LatencyNS, viaISA.Meter().LatencyNS)
+	}
+	if !direct.Peek(10).Equal(viaISA.Peek(10)) {
+		t.Fatal("results differ")
+	}
+}
+
+func TestProgramProfile(t *testing.T) {
+	prog := NewBuilder(256).
+		Copy(0, 1016).Copy(1, 1017).
+		XNOR(1016, 1017, 2).
+		TRA(1016, 1017, 1018, 3).
+		Match(2).ResetLatch().
+		Program()
+	st := prog.Profile()
+	if st.Total != 6 {
+		t.Fatalf("total %d", st.Total)
+	}
+	if st.ByOpcode[OpAAP1] != 2 || st.ByOpcode[OpAAP2] != 1 || st.ByOpcode[OpAAP3] != 1 {
+		t.Fatalf("mix %+v", st.ByOpcode)
+	}
+	if st.ComputeFraction < 0.33 || st.ComputeFraction > 0.34 {
+		t.Fatalf("compute fraction %v, want 2/6", st.ComputeFraction)
+	}
+	if Program(nil).Profile().Total != 0 {
+		t.Fatal("empty profile")
+	}
+}

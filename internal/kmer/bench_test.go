@@ -1,0 +1,55 @@
+package kmer
+
+import (
+	"testing"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/stats"
+)
+
+func BenchmarkIterate(b *testing.B) {
+	rng := stats.NewRNG(1)
+	s := genome.GenerateGenome(10_000, rng)
+	b.SetBytes(int64(s.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		Iterate(s, 16, func(Kmer) { n++ })
+		if n != s.Len()-15 {
+			b.Fatal("wrong k-mer count")
+		}
+	}
+}
+
+func BenchmarkCountTableAdd(b *testing.B) {
+	rng := stats.NewRNG(2)
+	kms := make([]Kmer, 1<<14)
+	for i := range kms {
+		kms[i] = Kmer(rng.Uint64()) & Kmer(Mask(16))
+	}
+	tbl := NewCountTable(16, len(kms))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Add(kms[i%len(kms)])
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= Kmer(i).Hash()
+	}
+	if acc == 1 {
+		b.Fatal("unlikely")
+	}
+}
+
+func BenchmarkCountReads(b *testing.B) {
+	rng := stats.NewRNG(3)
+	g := genome.GenerateGenome(20_000, rng)
+	reads := genome.NewReadSampler(g, 101, 0, rng).Sample(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountReads(reads, 16)
+	}
+}

@@ -1,0 +1,176 @@
+// Package kmer implements k-mer extraction and counting: the packed k-mer
+// representation, the software reference hash table the PIM results are
+// cross-checked against, and frequency-spectrum utilities. The PIM-mapped
+// hash table itself lives in internal/core, built on these types.
+package kmer
+
+import (
+	"fmt"
+
+	"pimassembler/internal/genome"
+)
+
+// MaxK is the largest supported k-mer length: 32 bases fit one uint64 at
+// 2 bits per base, covering the paper's k ∈ {16, 22, 26, 32} sweep.
+const MaxK = 32
+
+// Kmer is a 2-bit-packed k-mer, base 0 in the least-significant bits, using
+// the Fig. 7 encoding (T=00, G=01, A=10, C=11). The length k is carried by
+// context (table, graph) rather than by the value.
+type Kmer uint64
+
+// Mask returns the valid-bit mask for length k.
+func Mask(k int) uint64 {
+	checkK(k)
+	if k == MaxK {
+		return ^uint64(0)
+	}
+	return (1 << (2 * uint(k))) - 1
+}
+
+func checkK(k int) {
+	if k <= 0 || k > MaxK {
+		panic(fmt.Sprintf("kmer: k=%d outside [1,%d]", k, MaxK))
+	}
+}
+
+// FromSequence packs the first k bases of s into a Kmer.
+func FromSequence(s *genome.Sequence, k int) Kmer {
+	checkK(k)
+	if s.Len() < k {
+		panic(fmt.Sprintf("kmer: sequence length %d shorter than k=%d", s.Len(), k))
+	}
+	return Kmer(s.PackBits(0, k))
+}
+
+// Base returns base i of the k-mer.
+func (km Kmer) Base(i int) genome.Base {
+	return genome.Base(km >> (2 * uint(i)) & 3)
+}
+
+// String renders the k-mer as k letters.
+func (km Kmer) String(k int) string {
+	checkK(k)
+	out := make([]byte, k)
+	for i := 0; i < k; i++ {
+		out[i] = km.Base(i).Letter()
+	}
+	return string(out)
+}
+
+// Parse converts a letter string of length ≤ MaxK into a Kmer.
+func Parse(s string) (Kmer, error) {
+	if len(s) == 0 || len(s) > MaxK {
+		return 0, fmt.Errorf("kmer: length %d outside [1,%d]", len(s), MaxK)
+	}
+	var km Kmer
+	for i := 0; i < len(s); i++ {
+		b, err := genome.ParseBase(s[i])
+		if err != nil {
+			return 0, err
+		}
+		km |= Kmer(b) << (2 * uint(i))
+	}
+	return km, nil
+}
+
+// MustParse is Parse for trusted literals.
+func MustParse(s string) Kmer {
+	km, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return km
+}
+
+// Prefix returns the (k-1)-mer over bases [0, k-1) — node_1 of the
+// DeBruijn procedure in Fig. 5c.
+func (km Kmer) Prefix(k int) Kmer {
+	checkK(k)
+	return km & Kmer(Mask(k-1))
+}
+
+// Suffix returns the (k-1)-mer over bases [1, k) — node_2 of the DeBruijn
+// procedure in Fig. 5c.
+func (km Kmer) Suffix(k int) Kmer {
+	checkK(k)
+	return (km >> 2) & Kmer(Mask(k-1))
+}
+
+// Extend appends base b to a (k-1)-mer, producing the k-mer whose prefix is
+// km: the graph-walk inverse of Suffix∘Prefix composition.
+func (km Kmer) Extend(k int, b genome.Base) Kmer {
+	checkK(k)
+	return (km & Kmer(Mask(k-1))) | Kmer(b)<<(2*uint(k-1))
+}
+
+// FirstBase returns base 0.
+func (km Kmer) FirstBase() genome.Base { return km.Base(0) }
+
+// LastBase returns base k-1.
+func (km Kmer) LastBase(k int) genome.Base { return km.Base(k - 1) }
+
+// ReverseComplement returns the reverse complement k-mer.
+func (km Kmer) ReverseComplement(k int) Kmer {
+	checkK(k)
+	var rc Kmer
+	for i := 0; i < k; i++ {
+		rc |= Kmer(km.Base(i).Complement()) << (2 * uint(k-1-i))
+	}
+	return rc
+}
+
+// Canonical returns the lexicographically smaller of km and its reverse
+// complement (optional strand normalisation; the paper's pipeline is
+// single-stranded, so the assembler uses it only when configured to).
+func (km Kmer) Canonical(k int) Kmer {
+	if rc := km.ReverseComplement(k); rc < km {
+		return rc
+	}
+	return km
+}
+
+// Hash mixes the k-mer into a well-distributed 64-bit value
+// (splitmix64 finaliser), used for both the software table and the
+// sub-array home-slot assignment of the PIM mapping.
+func (km Kmer) Hash() uint64 {
+	z := uint64(km) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Iterate calls fn for every k-mer of s in order, reusing the rolling 2-bit
+// window: the Hashmap(S, k) loop of Fig. 5b.
+func Iterate(s *genome.Sequence, k int, fn func(Kmer)) {
+	checkK(k)
+	if s.Len() < k {
+		return
+	}
+	km := FromSequence(s, k)
+	fn(km)
+	for i := k; i < s.Len(); i++ {
+		km = (km >> 2) | Kmer(s.Base(i))<<(2*uint(k-1))
+		fn(km)
+	}
+}
+
+// Extract returns all k-mers of s in order.
+func Extract(s *genome.Sequence, k int) []Kmer {
+	if s.Len() < k {
+		return nil
+	}
+	out := make([]Kmer, 0, s.Len()-k+1)
+	Iterate(s, k, func(km Kmer) { out = append(out, km) })
+	return out
+}
+
+// ToSequence expands the k-mer back into a Sequence.
+func (km Kmer) ToSequence(k int) *genome.Sequence {
+	checkK(k)
+	s := genome.NewSequence(k)
+	for i := 0; i < k; i++ {
+		s.SetBase(i, km.Base(i))
+	}
+	return s
+}

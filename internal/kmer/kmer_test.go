@@ -1,0 +1,160 @@
+package kmer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/stats"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"A", "ACGT", "TTTTTTTT", "CGTGC", "ACGTACGTACGTACGTACGTACGTACGTACGT"} {
+		km, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := km.String(len(s)); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	if _, err := Parse(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Parse("ACGTN"); err == nil {
+		t.Fatal("N accepted")
+	}
+	if _, err := Parse("ACGTACGTACGTACGTACGTACGTACGTACGTA"); err == nil {
+		t.Fatal("33-mer accepted")
+	}
+}
+
+func TestFromSequence(t *testing.T) {
+	s := genome.MustFromString("CGTGCGTGCTT")
+	km := FromSequence(s, 5)
+	if km.String(5) != "CGTGC" {
+		t.Fatalf("got %q", km.String(5))
+	}
+}
+
+func TestPrefixSuffix(t *testing.T) {
+	// Fig. 5c: node_1 = k_mer[0..k-2], node_2 = k_mer[1..k-1].
+	km := MustParse("CGTGC")
+	if got := km.Prefix(5).String(4); got != "CGTG" {
+		t.Fatalf("prefix %q, want CGTG", got)
+	}
+	if got := km.Suffix(5).String(4); got != "GTGC" {
+		t.Fatalf("suffix %q, want GTGC", got)
+	}
+}
+
+func TestExtendInvertsPrefix(t *testing.T) {
+	km := MustParse("ACGTAGG")
+	k := 7
+	rebuilt := km.Prefix(k).Extend(k, km.LastBase(k))
+	if rebuilt != km {
+		t.Fatalf("Extend(Prefix) != identity: %q vs %q", rebuilt.String(k), km.String(k))
+	}
+}
+
+func TestFirstLastBase(t *testing.T) {
+	km := MustParse("GATTC")
+	if km.FirstBase() != genome.G || km.LastBase(5) != genome.C {
+		t.Fatal("first/last base wrong")
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	km := MustParse("AACGT")
+	if got := km.ReverseComplement(5).String(5); got != "ACGTT" {
+		t.Fatalf("revcomp %q", got)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 1 + rng.Intn(MaxK)
+		km := Kmer(rng.Uint64()) & Kmer(Mask(k))
+		c := km.Canonical(k)
+		return c.Canonical(k) == c && (c == km || c == km.ReverseComplement(k))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterateMatchesExtract(t *testing.T) {
+	rng := stats.NewRNG(3)
+	s := genome.GenerateGenome(300, rng)
+	k := 21
+	kms := Extract(s, k)
+	if len(kms) != s.Len()-k+1 {
+		t.Fatalf("extracted %d k-mers, want %d", len(kms), s.Len()-k+1)
+	}
+	// Rolling extraction must equal direct packing at every offset.
+	for i, km := range kms {
+		want := FromSequence(s.Subsequence(i, k), k)
+		if km != want {
+			t.Fatalf("k-mer %d: rolling %q != direct %q", i, km.String(k), want.String(k))
+		}
+	}
+}
+
+func TestExtractShortSequence(t *testing.T) {
+	s := genome.MustFromString("ACG")
+	if got := Extract(s, 5); got != nil {
+		t.Fatalf("short sequence yielded %v", got)
+	}
+}
+
+func TestToSequenceRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 1 + rng.Intn(MaxK)
+		km := Kmer(rng.Uint64()) & Kmer(Mask(k))
+		return FromSequence(km.ToSequence(k), k) == km
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(1) != 3 || Mask(2) != 15 {
+		t.Fatal("small masks wrong")
+	}
+	if Mask(32) != ^uint64(0) {
+		t.Fatal("full mask wrong")
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Adjacent k-mers must not collide in the low bits used for slotting.
+	seen := make(map[uint64]int)
+	for i := 0; i < 4096; i++ {
+		h := Kmer(i).Hash() & 1023
+		seen[h]++
+	}
+	for h, c := range seen {
+		if c > 20 { // expectation 4, generous bound
+			t.Fatalf("hash bucket %d has %d entries; poor mixing", h, c)
+		}
+	}
+}
+
+func TestCheckKPanics(t *testing.T) {
+	for _, k := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("k=%d accepted", k)
+				}
+			}()
+			Mask(k)
+		}()
+	}
+}

@@ -1,0 +1,190 @@
+package kmer
+
+import (
+	"fmt"
+	"sort"
+
+	"pimassembler/internal/genome"
+)
+
+// CountTable is the software reference k-mer hash table: open addressing
+// with linear probing, the same probe discipline the PIM mapping uses
+// row-by-row inside a sub-array, so its probe statistics transfer directly
+// to the hardware cost model.
+type CountTable struct {
+	k       int
+	keys    []Kmer
+	counts  []uint32
+	used    []bool
+	n       int
+	probeOps int64 // total probe comparisons, for op-count extraction
+}
+
+// NewCountTable creates a table for k-mers of length k with capacity for at
+// least hint entries before growing.
+func NewCountTable(k int, hint int) *CountTable {
+	checkK(k)
+	capacity := 16
+	for capacity < hint*2 {
+		capacity *= 2
+	}
+	return &CountTable{
+		k:      k,
+		keys:   make([]Kmer, capacity),
+		counts: make([]uint32, capacity),
+		used:   make([]bool, capacity),
+	}
+}
+
+// K returns the table's k-mer length.
+func (t *CountTable) K() int { return t.k }
+
+// Len returns the number of distinct k-mers stored.
+func (t *CountTable) Len() int { return t.n }
+
+// ProbeOps returns the cumulative number of slot comparisons performed — the
+// quantity the performance model converts into PIM_XNOR operations.
+func (t *CountTable) ProbeOps() int64 { return t.probeOps }
+
+// Add increments the count of km, inserting it if absent, and returns the
+// new count: one iteration of the Hashmap procedure in Fig. 5b.
+func (t *CountTable) Add(km Kmer) uint32 {
+	if t.n*2 >= len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := km.Hash() & mask
+	for {
+		t.probeOps++
+		if !t.used[i] {
+			t.used[i] = true
+			t.keys[i] = km
+			t.counts[i] = 1
+			t.n++
+			return 1
+		}
+		if t.keys[i] == km {
+			t.counts[i]++
+			return t.counts[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Count returns the stored count of km (0 if absent).
+func (t *CountTable) Count(km Kmer) uint32 {
+	mask := uint64(len(t.keys) - 1)
+	i := km.Hash() & mask
+	for {
+		t.probeOps++
+		if !t.used[i] {
+			return 0
+		}
+		if t.keys[i] == km {
+			return t.counts[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *CountTable) grow() {
+	old := *t
+	t.keys = make([]Kmer, len(old.keys)*2)
+	t.counts = make([]uint32, len(old.counts)*2)
+	t.used = make([]bool, len(old.used)*2)
+	t.n = 0
+	mask := uint64(len(t.keys) - 1)
+	for i, u := range old.used {
+		if !u {
+			continue
+		}
+		j := old.keys[i].Hash() & mask
+		for t.used[j] {
+			j = (j + 1) & mask
+		}
+		t.used[j] = true
+		t.keys[j] = old.keys[i]
+		t.counts[j] = old.counts[i]
+		t.n++
+	}
+	t.probeOps = old.probeOps
+}
+
+// Entry is one (k-mer, count) pair.
+type Entry struct {
+	Kmer  Kmer
+	Count uint32
+}
+
+// Entries returns all entries sorted by k-mer value — a deterministic order
+// for graph construction and tests.
+func (t *CountTable) Entries() []Entry {
+	out := make([]Entry, 0, t.n)
+	for i, u := range t.used {
+		if u {
+			out = append(out, Entry{t.keys[i], t.counts[i]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Kmer < out[b].Kmer })
+	return out
+}
+
+// Each calls fn for every entry in unspecified order; return false to stop.
+func (t *CountTable) Each(fn func(Kmer, uint32) bool) {
+	for i, u := range t.used {
+		if u && !fn(t.keys[i], t.counts[i]) {
+			return
+		}
+	}
+}
+
+// CountReads builds a table over every k-mer of every read: stage 1 of the
+// assembly pipeline.
+func CountReads(reads []*genome.Sequence, k int) *CountTable {
+	hint := 0
+	for _, r := range reads {
+		if r.Len() >= k {
+			hint += r.Len() - k + 1
+		}
+	}
+	t := NewCountTable(k, hint)
+	for _, r := range reads {
+		Iterate(r, k, func(km Kmer) { t.Add(km) })
+	}
+	return t
+}
+
+// Spectrum returns the frequency spectrum: spectrum[c] is the number of
+// distinct k-mers observed exactly c times (index 0 unused).
+func (t *CountTable) Spectrum() []int64 {
+	var maxC uint32
+	t.Each(func(_ Kmer, c uint32) bool {
+		if c > maxC {
+			maxC = c
+		}
+		return true
+	})
+	spec := make([]int64, maxC+1)
+	t.Each(func(_ Kmer, c uint32) bool {
+		spec[c]++
+		return true
+	})
+	return spec
+}
+
+// FilterMinCount returns the entries with count ≥ min — the low-frequency
+// error-trimming step assemblers apply before graph construction.
+func (t *CountTable) FilterMinCount(min uint32) []Entry {
+	var out []Entry
+	for _, e := range t.Entries() {
+		if e.Count >= min {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String summarises the table.
+func (t *CountTable) String() string {
+	return fmt.Sprintf("kmer.CountTable{k=%d, distinct=%d, capacity=%d}", t.k, t.n, len(t.keys))
+}

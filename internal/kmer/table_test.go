@@ -1,0 +1,165 @@
+package kmer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/stats"
+)
+
+func TestCountTablePaperExample(t *testing.T) {
+	// Fig. 5b: S = CGTGCGTGCTT, k = 5 yields the hash table
+	// CGTGC:2, GTGCG:1, TGCGT:1, GCGTG:1, GTGCT:1, TGCTT:1.
+	s := genome.MustFromString("CGTGCGTGCTT")
+	tbl := NewCountTable(5, 8)
+	Iterate(s, 5, func(km Kmer) { tbl.Add(km) })
+	want := map[string]uint32{
+		"CGTGC": 2, "GTGCG": 1, "TGCGT": 1, "GCGTG": 1, "GTGCT": 1, "TGCTT": 1,
+	}
+	if tbl.Len() != len(want) {
+		t.Fatalf("distinct %d, want %d", tbl.Len(), len(want))
+	}
+	for text, count := range want {
+		if got := tbl.Count(MustParse(text)); got != count {
+			t.Errorf("count(%s) = %d, want %d", text, got, count)
+		}
+	}
+	if tbl.Count(MustParse("AAAAA")) != 0 {
+		t.Error("absent k-mer has non-zero count")
+	}
+}
+
+func TestCountTableGrowth(t *testing.T) {
+	tbl := NewCountTable(16, 1)
+	rng := stats.NewRNG(5)
+	ref := make(map[Kmer]uint32)
+	for i := 0; i < 5000; i++ {
+		km := Kmer(rng.Uint64()) & Kmer(Mask(16))
+		tbl.Add(km)
+		ref[km]++
+	}
+	if tbl.Len() != len(ref) {
+		t.Fatalf("distinct %d, want %d", tbl.Len(), len(ref))
+	}
+	for km, c := range ref {
+		if got := tbl.Count(km); got != c {
+			t.Fatalf("count %v = %d, want %d", km, got, c)
+		}
+	}
+}
+
+func TestCountTableAddReturnsNewCount(t *testing.T) {
+	tbl := NewCountTable(4, 4)
+	km := MustParse("ACGT")
+	if tbl.Add(km) != 1 || tbl.Add(km) != 2 || tbl.Add(km) != 3 {
+		t.Fatal("Add must return the updated frequency (New_freq of Fig. 5b)")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	tbl := NewCountTable(8, 16)
+	rng := stats.NewRNG(8)
+	for i := 0; i < 100; i++ {
+		tbl.Add(Kmer(rng.Uint64()) & Kmer(Mask(8)))
+	}
+	es := tbl.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Kmer >= es[i].Kmer {
+			t.Fatal("entries not strictly sorted")
+		}
+	}
+}
+
+func TestCountReadsAgainstMap(t *testing.T) {
+	rng := stats.NewRNG(9)
+	g := genome.GenerateGenome(2000, rng)
+	reads := genome.NewReadSampler(g, 80, 0, rng).Sample(40)
+	k := 13
+	tbl := CountReads(reads, k)
+	ref := make(map[Kmer]uint32)
+	for _, r := range reads {
+		for _, km := range Extract(r, k) {
+			ref[km]++
+		}
+	}
+	if tbl.Len() != len(ref) {
+		t.Fatalf("distinct %d, want %d", tbl.Len(), len(ref))
+	}
+	for km, c := range ref {
+		if tbl.Count(km) != c {
+			t.Fatal("count mismatch vs reference map")
+		}
+	}
+}
+
+func TestSpectrumSumsToDistinct(t *testing.T) {
+	rng := stats.NewRNG(10)
+	g := genome.GenerateGenome(1000, rng)
+	tbl := CountReads(genome.TilingReads(g, 100, 50), 15)
+	spec := tbl.Spectrum()
+	var total int64
+	for _, c := range spec {
+		total += c
+	}
+	if total != int64(tbl.Len()) {
+		t.Fatalf("spectrum sums to %d, want %d", total, tbl.Len())
+	}
+	if spec[0] != 0 {
+		t.Fatal("spectrum[0] must be empty")
+	}
+}
+
+func TestFilterMinCount(t *testing.T) {
+	tbl := NewCountTable(4, 4)
+	a, b := MustParse("ACGT"), MustParse("TTTT")
+	tbl.Add(a)
+	tbl.Add(a)
+	tbl.Add(b)
+	kept := tbl.FilterMinCount(2)
+	if len(kept) != 1 || kept[0].Kmer != a {
+		t.Fatalf("filter kept %v", kept)
+	}
+}
+
+func TestProbeOpsMonotone(t *testing.T) {
+	tbl := NewCountTable(8, 8)
+	before := tbl.ProbeOps()
+	tbl.Add(MustParse("ACGTACGT"))
+	if tbl.ProbeOps() <= before {
+		t.Fatal("probe counter must advance on Add")
+	}
+	mid := tbl.ProbeOps()
+	tbl.Count(MustParse("ACGTACGT"))
+	if tbl.ProbeOps() <= mid {
+		t.Fatal("probe counter must advance on Count")
+	}
+}
+
+// Property: table counts always match a reference map.
+func TestCountTableProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 1 + rng.Intn(MaxK)
+		tbl := NewCountTable(k, 4)
+		ref := make(map[Kmer]uint32)
+		// Draw from a small keyspace to force collisions and repeats.
+		for i := 0; i < 300; i++ {
+			km := Kmer(rng.Uint64()%32) & Kmer(Mask(k))
+			tbl.Add(km)
+			ref[km]++
+		}
+		if tbl.Len() != len(ref) {
+			return false
+		}
+		for km, c := range ref {
+			if tbl.Count(km) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"pimassembler/internal/kmer"
+)
+
+// IntervalBlockPartition implements Fig. 8's graph placement: vertices are
+// hashed into M intervals, edges into M² blocks (source interval ×
+// destination interval), and each block is allocated to a chip and mapped to
+// its sub-arrays as adjacency-matrix rows.
+type IntervalBlockPartition struct {
+	M int // number of intervals (= chips along one block axis)
+}
+
+// NewIntervalBlockPartition creates a partition over M intervals.
+func NewIntervalBlockPartition(m int) IntervalBlockPartition {
+	if m <= 0 {
+		panic(fmt.Sprintf("mapping: non-positive interval count %d", m))
+	}
+	return IntervalBlockPartition{M: m}
+}
+
+// Interval returns the interval of a vertex ((k-1)-mer node), using the
+// hash-based division of [21], [22].
+func (p IntervalBlockPartition) Interval(node kmer.Kmer) int {
+	return int(node.Hash() % uint64(p.M))
+}
+
+// Block returns the (source, destination) block coordinates of an edge.
+func (p IntervalBlockPartition) Block(from, to kmer.Kmer) (src, dst int) {
+	return p.Interval(from), p.Interval(to)
+}
+
+// BlockID flattens block coordinates to a chip assignment in [0, M²).
+func (p IntervalBlockPartition) BlockID(src, dst int) int {
+	if src < 0 || src >= p.M || dst < 0 || dst >= p.M {
+		panic(fmt.Sprintf("mapping: block (%d,%d) outside %dx%d", src, dst, p.M, p.M))
+	}
+	return src*p.M + dst
+}
+
+// Blocks returns M², the number of edge blocks (= chips used).
+func (p IntervalBlockPartition) Blocks() int { return p.M * p.M }
+
+// SubarraysForVertices returns Ns = ⌈N/f⌉, the number of sub-arrays needed
+// to process an N-vertex sub-graph where each a×b sub-array handles up to
+// f = min(a, b) vertices (the allocation stage of Fig. 8).
+func SubarraysForVertices(n, a, b int) int {
+	if n < 0 || a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("mapping: invalid allocation n=%d a=%d b=%d", n, a, b))
+	}
+	f := a
+	if b < a {
+		f = b
+	}
+	return (n + f - 1) / f
+}
+
+// BlockLoad tallies how many edges of an edge list land in each block —
+// the balance check motivating hash-based interval division.
+func (p IntervalBlockPartition) BlockLoad(edges [][2]kmer.Kmer) []int {
+	load := make([]int, p.Blocks())
+	for _, e := range edges {
+		s, d := p.Block(e[0], e[1])
+		load[p.BlockID(s, d)]++
+	}
+	return load
+}
+
+// Replication models the parallelism-degree knob of the Fig. 10 trade-off
+// study: Pd replicated sub-array groups process independent work slices.
+type Replication struct {
+	Pd int
+	// SerialFraction is the fraction of stage work that does not scale with
+	// Pd (controller dispatch, result merging) — the Amdahl term that makes
+	// Pd ≈ 2 the paper's optimum once the power cost is charged.
+	SerialFraction float64
+	// PowerExponent shapes the replication's dynamic-power growth:
+	// Pdyn(Pd) = Pdyn(1) · Pd^PowerExponent. Slightly below 1.0 because the
+	// replicas share the controller, command distribution, and background
+	// refresh.
+	PowerExponent float64
+}
+
+// DefaultReplication returns the calibrated Fig. 10 model.
+func DefaultReplication(pd int) Replication {
+	if pd <= 0 {
+		panic(fmt.Sprintf("mapping: non-positive parallelism degree %d", pd))
+	}
+	return Replication{Pd: pd, SerialFraction: 0.08, PowerExponent: 0.9}
+}
+
+// Speedup returns the delay reduction factor at this Pd:
+// Pd / (1 + SerialFraction·(Pd-1)).
+func (r Replication) Speedup() float64 {
+	return float64(r.Pd) / (1 + r.SerialFraction*float64(r.Pd-1))
+}
+
+// PowerFactor returns the power multiplier at this Pd:
+// Pd^PowerExponent.
+func (r Replication) PowerFactor() float64 {
+	return math.Pow(float64(r.Pd), r.PowerExponent)
+}

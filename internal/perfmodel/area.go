@@ -1,0 +1,60 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"pimassembler/internal/dram"
+)
+
+// AreaModel reproduces the §II-B area-overhead estimate: the three hardware
+// cost sources of PIM-Assembler on top of a commodity DRAM chip.
+type AreaModel struct {
+	// SAAddOnTransistorsPerBL: add-on transistors per sense amplifier
+	// (two shifted-VTC inverters, AND, XOR, D-latch, 4:1 MUX), one SA per
+	// bit-line: "each SA requires ∼50 additional transistors".
+	SAAddOnTransistorsPerBL int
+	// MRDAddOnTransistors: the modified 3:8 row decoder adds two buffer
+	// transistors per compute-row word-line driver: "only 16 add-on
+	// transistors for computational rows".
+	MRDAddOnTransistors int
+	// CtrlRowEquivalent: controller/enable-signal overhead expressed in
+	// DRAM-row-equivalents per sub-array.
+	CtrlRowEquivalent float64
+}
+
+// DefaultAreaModel returns the paper's §II-B accounting.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		SAAddOnTransistorsPerBL: 50,
+		MRDAddOnTransistors:     16,
+		CtrlRowEquivalent:       0.8,
+	}
+}
+
+// AreaReport is the computed overhead.
+type AreaReport struct {
+	AddOnTransistorsPerSubarray int
+	RowEquivalentPerSubarray    float64
+	OverheadPct                 float64
+}
+
+// Overhead computes the chip-area overhead for a geometry. Following the
+// paper's accounting, add-on transistors are expressed in row-equivalents
+// (one DRAM row = ColsPerSubarray one-transistor cells) and compared to the
+// sub-array's row count: "51 DRAM rows (51×256 transistors) per sub-array,
+// at the most ... ∼5% of DRAM chip area".
+func (m AreaModel) Overhead(g dram.Geometry) AreaReport {
+	perSubarray := m.SAAddOnTransistorsPerBL*g.ColsPerSubarray + m.MRDAddOnTransistors
+	rows := float64(perSubarray)/float64(g.ColsPerSubarray) + m.CtrlRowEquivalent
+	return AreaReport{
+		AddOnTransistorsPerSubarray: perSubarray,
+		RowEquivalentPerSubarray:    rows,
+		OverheadPct:                 100 * rows / float64(g.RowsPerSubarray),
+	}
+}
+
+// String implements fmt.Stringer.
+func (r AreaReport) String() string {
+	return fmt.Sprintf("add-on transistors/sub-array=%d (≈%.1f row-equivalents) → %.2f%% chip area",
+		r.AddOnTransistorsPerSubarray, r.RowEquivalentPerSubarray, r.OverheadPct)
+}

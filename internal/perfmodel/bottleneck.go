@@ -1,0 +1,56 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/platforms"
+)
+
+// Utilization is one platform's Fig. 11 point: the Memory Bottleneck Ratio
+// (fraction of run time spent waiting on on-/off-chip data transfer) and the
+// Resource Utilization Ratio (fraction of peak compute throughput achieved).
+type Utilization struct {
+	Platform string
+	K        int
+	MBRPct   float64
+	RURPct   float64
+}
+
+// String implements fmt.Stringer.
+func (u Utilization) String() string {
+	return fmt.Sprintf("%-6s k=%-2d MBR=%5.1f%% RUR=%5.1f%%", u.Platform, u.K, u.MBRPct, u.RURPct)
+}
+
+// Bottleneck derives MBR and RUR from a platform's stage cost: MBR is the
+// transfer share of the run; RUR is the post-stall throughput times the
+// platform's scheduler efficiency.
+func Bottleneck(s platforms.Spec, c StageCost) Utilization {
+	total := c.TotalS()
+	mbr := 0.0
+	if total > 0 {
+		mbr = c.TransferS / total
+	}
+	if mbr > 1 {
+		mbr = 1
+	}
+	return Utilization{
+		Platform: c.Platform,
+		K:        c.K,
+		MBRPct:   100 * mbr,
+		RURPct:   100 * (1 - mbr) * s.SchedulerEfficiency,
+	}
+}
+
+// Fig11 computes the MBR/RUR matrix for the paper's five genome-pipeline
+// platforms at the given k values.
+func Fig11(specs []platforms.Spec, counts func(k int) assembly.OpCounts, ks []int) []Utilization {
+	var out []Utilization
+	for _, k := range ks {
+		c := counts(k)
+		for _, s := range specs {
+			out = append(out, Bottleneck(s, AssemblyCost(s, c)))
+		}
+	}
+	return out
+}

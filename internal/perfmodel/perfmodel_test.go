@@ -1,0 +1,259 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/platforms"
+)
+
+func counts(k int) assembly.OpCounts {
+	return assembly.PaperOpCounts(genome.PaperChr14(), k)
+}
+
+func fig9Specs() []platforms.Spec {
+	return []platforms.Spec{
+		platforms.GPU(), platforms.PIMAssembler(), platforms.Ambit(),
+		platforms.DRISA3T1C(), platforms.DRISA1T1C(),
+	}
+}
+
+func costOf(t *testing.T, name string, k int) StageCost {
+	t.Helper()
+	s, err := platforms.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AssemblyCost(s, counts(k))
+}
+
+func TestFig9SpeedupShape(t *testing.T) {
+	// Paper headline numbers with generous tolerance: who wins and by
+	// roughly what factor.
+	ks := genome.PaperChr14().KmerRanges
+	avg := map[string]float64{}
+	for _, k := range ks {
+		for _, s := range fig9Specs() {
+			avg[s.Name] += AssemblyCost(s, counts(k)).TotalS() / float64(len(ks))
+		}
+	}
+	pa := avg["P-A"]
+	checks := []struct {
+		name       string
+		paperRatio float64
+		tol        float64
+	}{
+		{"GPU", 5.0, 0.5},   // "reduces the execution time on average by 5x"
+		{"Ambit", 2.9, 0.35},
+		{"D3", 2.5, 0.35},
+		{"D1", 2.8, 0.35},
+	}
+	for _, c := range checks {
+		r := avg[c.name] / pa
+		if r < c.paperRatio*(1-c.tol) || r > c.paperRatio*(1+c.tol) {
+			t.Errorf("P-A vs %s ratio %.2f outside paper's %.1fx ±%.0f%%",
+				c.name, r, c.paperRatio, c.tol*100)
+		}
+	}
+}
+
+func TestHashmapSpeedupGrowsWithK(t *testing.T) {
+	// Paper: ~5.2x at k=16 growing to ~9.8x at k=32 vs GPU.
+	s16 := costOf(t, "GPU", 16).HashmapS / costOf(t, "P-A", 16).HashmapS
+	s32 := costOf(t, "GPU", 32).HashmapS / costOf(t, "P-A", 32).HashmapS
+	if s16 < 4 || s16 > 7 {
+		t.Errorf("k=16 hashmap speedup %.1f far from paper's 5.2x", s16)
+	}
+	if s32 < 7.5 || s32 > 12 {
+		t.Errorf("k=32 hashmap speedup %.1f far from paper's 9.8x", s32)
+	}
+	if s32 <= s16 {
+		t.Error("hashmap speedup must grow with k")
+	}
+}
+
+func TestHashmapDominatesGPUTime(t *testing.T) {
+	// Paper: "hashmap procedure ... takes the largest fraction of execution
+	// time and power in GPU platform (over 60%)".
+	for _, k := range genome.PaperChr14().KmerRanges {
+		c := costOf(t, "GPU", k)
+		if frac := c.HashmapS / c.TotalS(); frac < 0.6 {
+			t.Errorf("k=%d: GPU hashmap fraction %.2f below 60%%", k, frac)
+		}
+	}
+}
+
+func TestPowerShape(t *testing.T) {
+	pa := costOf(t, "P-A", 16).PowerW
+	// Paper: P-A averages 38.4 W.
+	if pa < 33 || pa > 44 {
+		t.Errorf("P-A power %.1f W far from paper's 38.4 W", pa)
+	}
+	gpu := costOf(t, "GPU", 16).PowerW
+	if r := gpu / pa; r < 6 || r > 9 {
+		t.Errorf("GPU/P-A power ratio %.1f far from paper's ~7.5x", r)
+	}
+	// P-A is the lowest-power platform; best PIM baseline ≈ 2.8x higher.
+	best := 1e30
+	for _, name := range []string{"Ambit", "D1", "D3"} {
+		if p := costOf(t, name, 16).PowerW; p < best {
+			best = p
+		}
+		if costOf(t, name, 16).PowerW <= pa {
+			t.Errorf("%s power not above P-A's", name)
+		}
+	}
+	if r := best / pa; r < 2.1 || r > 3.5 {
+		t.Errorf("best-PIM/P-A power ratio %.1f far from paper's ~2.8x", r)
+	}
+}
+
+func TestMBRShape(t *testing.T) {
+	// Paper Fig. 11a: P-A ~9% at k=16 rising to ≲16% at k=32; GPU 60→70%.
+	paSpec, _ := platforms.ByName("P-A")
+	gpuSpec, _ := platforms.ByName("GPU")
+	pa16 := Bottleneck(paSpec, costOf(t, "P-A", 16))
+	pa32 := Bottleneck(paSpec, costOf(t, "P-A", 32))
+	if pa16.MBRPct < 5 || pa16.MBRPct > 13 {
+		t.Errorf("P-A MBR@16 = %.1f%%, paper ~9%%", pa16.MBRPct)
+	}
+	if pa32.MBRPct > 17 {
+		t.Errorf("P-A MBR@32 = %.1f%%, paper caps at ~16%%", pa32.MBRPct)
+	}
+	if pa32.MBRPct <= pa16.MBRPct {
+		t.Error("P-A MBR must grow with k")
+	}
+	gpu16 := Bottleneck(gpuSpec, costOf(t, "GPU", 16))
+	gpu32 := Bottleneck(gpuSpec, costOf(t, "GPU", 32))
+	if gpu32.MBRPct < 65 || gpu32.MBRPct > 75 {
+		t.Errorf("GPU MBR@32 = %.1f%%, paper ~70%%", gpu32.MBRPct)
+	}
+	if gpu16.MBRPct >= gpu32.MBRPct {
+		t.Error("GPU MBR must grow with k")
+	}
+}
+
+func TestRURShape(t *testing.T) {
+	// Paper Fig. 11b: P-A highest, up to ~65% at k=16; PIMs > 45%; GPU low.
+	us := Fig11(fig9Specs(), counts, []int{16, 32})
+	byKey := map[string]Utilization{}
+	for _, u := range us {
+		byKey[u.Platform+string(rune(u.K))] = u
+	}
+	pa16 := byKey["P-A"+string(rune(16))]
+	if pa16.RURPct < 58 || pa16.RURPct > 70 {
+		t.Errorf("P-A RUR@16 = %.1f%%, paper up to ~65%%", pa16.RURPct)
+	}
+	for _, u := range us {
+		switch u.Platform {
+		case "P-A":
+			if u.RURPct <= byKey["GPU"+string(rune(u.K))].RURPct {
+				t.Error("P-A must have the highest RUR")
+			}
+		case "Ambit", "D1", "D3":
+			if u.RURPct < 43 {
+				t.Errorf("%s RUR %.1f%% below the paper's >45%% PIM band", u.Platform, u.RURPct)
+			}
+		case "GPU":
+			if u.RURPct > 35 {
+				t.Errorf("GPU RUR %.1f%% too high", u.RURPct)
+			}
+		}
+	}
+}
+
+func TestPdTradeoffShape(t *testing.T) {
+	for _, k := range []int{16, 32} {
+		pts := PdTradeoff(counts(k), []int{1, 2, 4, 8})
+		for i := 1; i < len(pts); i++ {
+			if pts[i].DelayS >= pts[i-1].DelayS {
+				t.Errorf("k=%d: delay not decreasing at Pd=%d", k, pts[i].Pd)
+			}
+			if pts[i].PowerW <= pts[i-1].PowerW {
+				t.Errorf("k=%d: power not increasing at Pd=%d", k, pts[i].Pd)
+			}
+		}
+		// Paper: "we determine the optimum performance ... where Pd ≈ 2".
+		if opt := OptimalPd(pts); opt != 2 {
+			t.Errorf("k=%d: optimum Pd = %d, paper finds ≈2", k, opt)
+		}
+	}
+}
+
+func TestAreaOverheadMatchesPaper(t *testing.T) {
+	rep := DefaultAreaModel().Overhead(platforms.PIMGeometry())
+	// Paper: "51 DRAM rows (51×256 transistors) per sub-array, at the most
+	// ... ∼5% of DRAM chip area".
+	if rep.RowEquivalentPerSubarray > 51.5 || rep.RowEquivalentPerSubarray < 49 {
+		t.Errorf("row equivalents %.1f, paper bounds at 51", rep.RowEquivalentPerSubarray)
+	}
+	if rep.OverheadPct < 4.5 || rep.OverheadPct > 5.5 {
+		t.Errorf("area overhead %.2f%%, paper says ~5%%", rep.OverheadPct)
+	}
+	if rep.AddOnTransistorsPerSubarray != 50*256+16 {
+		t.Errorf("transistor accounting %d, want 50/SA × 256 BLs + 16 MRD", rep.AddOnTransistorsPerSubarray)
+	}
+}
+
+func TestStageCostAccessors(t *testing.T) {
+	c := costOf(t, "P-A", 16)
+	if c.TotalS() != c.HashmapS+c.DeBruijnS+c.TraverseS {
+		t.Fatal("TotalS inconsistent")
+	}
+	if c.EnergyJ() != c.TotalS()*c.PowerW {
+		t.Fatal("EnergyJ inconsistent")
+	}
+	if c.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestAssemblyCostPanicsOnBadCounts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AssemblyCost(platforms.PIMAssembler(), assembly.OpCounts{})
+}
+
+func TestTransferNeverExceedsTotal(t *testing.T) {
+	for _, k := range genome.PaperChr14().KmerRanges {
+		for _, s := range fig9Specs() {
+			c := AssemblyCost(s, counts(k))
+			if c.TransferS > c.TotalS() {
+				t.Errorf("%s k=%d: transfer %.1f exceeds total %.1f",
+					s.Name, k, c.TransferS, c.TotalS())
+			}
+		}
+	}
+}
+
+func TestDispatchSensitivityOrderingsRobust(t *testing.T) {
+	// The qualitative conclusions (P-A beats every baseline; Ambit, D1 and
+	// D3 stay slower than P-A) must survive halving or doubling the one
+	// calibrated parallelism constant.
+	pts := DispatchSensitivity(counts(16), []float64{0.5, 1, 2})
+	for _, p := range pts {
+		if !p.PAFastest {
+			t.Errorf("scale %.1f: P-A no longer fastest: %+v", p.Scale, p)
+		}
+		if p.SpeedupVsGPU < 2 {
+			t.Errorf("scale %.1f: GPU speedup %.1f collapsed", p.Scale, p.SpeedupVsGPU)
+		}
+	}
+	// More dispatch parallelism must not hurt P-A's relative standing.
+	if pts[2].SpeedupVsGPU <= pts[0].SpeedupVsGPU {
+		t.Error("speedup not increasing with dispatch scale")
+	}
+}
+
+func TestDispatchSensitivityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DispatchSensitivity(counts(16), []float64{0})
+}

@@ -1,0 +1,72 @@
+package perfmodel
+
+import (
+	"fmt"
+	"io"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/platforms"
+)
+
+// Sensitivity analysis: DESIGN.md §4.3 commits to calibration constants
+// being auditable data. This file quantifies how much the reproduction's
+// *qualitative* conclusions depend on the one truly free constant —
+// DispatchParallel, which sets P-A's absolute pipeline time — by sweeping it
+// and checking that every ordering claim survives.
+
+// SensitivityPoint is the headline state at one DispatchParallel scale.
+type SensitivityPoint struct {
+	Scale          float64 // multiplier on every in-situ platform's DispatchParallel
+	SpeedupVsGPU   float64
+	SpeedupVsAmbit float64
+	SpeedupVsD1    float64
+	SpeedupVsD3    float64
+	PAFastest      bool // P-A still beats every baseline
+}
+
+// DispatchSensitivity sweeps DispatchParallel by the given multipliers at
+// one workload and reports the headline ratios. Applying the scale to every
+// in-situ platform preserves the paper's identical-configuration fairness
+// rule.
+func DispatchSensitivity(counts assembly.OpCounts, scales []float64) []SensitivityPoint {
+	specs := []platforms.Spec{
+		platforms.GPU(), platforms.PIMAssembler(), platforms.Ambit(),
+		platforms.DRISA1T1C(), platforms.DRISA3T1C(),
+	}
+	out := make([]SensitivityPoint, 0, len(scales))
+	for _, scale := range scales {
+		if scale <= 0 {
+			panic(fmt.Sprintf("perfmodel: non-positive scale %v", scale))
+		}
+		totals := map[string]float64{}
+		for _, s := range specs {
+			adjusted := s
+			if s.Kind == platforms.KindInSitu {
+				adjusted.DispatchParallel = s.DispatchParallel * scale
+			}
+			totals[s.Name] = AssemblyCost(adjusted, counts).TotalS()
+		}
+		pa := totals["P-A"]
+		p := SensitivityPoint{
+			Scale:          scale,
+			SpeedupVsGPU:   totals["GPU"] / pa,
+			SpeedupVsAmbit: totals["Ambit"] / pa,
+			SpeedupVsD1:    totals["D1"] / pa,
+			SpeedupVsD3:    totals["D3"] / pa,
+		}
+		p.PAFastest = p.SpeedupVsGPU > 1 && p.SpeedupVsAmbit > 1 &&
+			p.SpeedupVsD1 > 1 && p.SpeedupVsD3 > 1
+		out = append(out, p)
+	}
+	return out
+}
+
+// RenderSensitivity writes the sweep as text.
+func RenderSensitivity(w io.Writer, counts assembly.OpCounts, scales []float64) {
+	fmt.Fprintln(w, "Sensitivity — headline speedups vs DispatchParallel scale (calibration audit)")
+	fmt.Fprintf(w, "  %-7s %10s %10s %8s %8s %10s\n", "scale", "vs GPU", "vs Ambit", "vs D1", "vs D3", "P-A wins")
+	for _, p := range DispatchSensitivity(counts, scales) {
+		fmt.Fprintf(w, "  %-7.2f %10.1f %10.1f %8.1f %8.1f %10v\n",
+			p.Scale, p.SpeedupVsGPU, p.SpeedupVsAmbit, p.SpeedupVsD1, p.SpeedupVsD3, p.PAFastest)
+	}
+}

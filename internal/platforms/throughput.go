@@ -1,0 +1,111 @@
+package platforms
+
+import "fmt"
+
+// BulkOp enumerates the two §II-B micro-benchmark operations.
+type BulkOp int
+
+const (
+	// OpXNOR is the bulk bit-wise XNOR comparison.
+	OpXNOR BulkOp = iota
+	// OpAdd is the bulk element-wise addition (32-bit lanes).
+	OpAdd
+)
+
+// String implements fmt.Stringer.
+func (op BulkOp) String() string {
+	if op == OpXNOR {
+		return "XNOR"
+	}
+	return "ADD"
+}
+
+// AddElemBits is the element width of the bulk-addition micro-benchmark.
+const AddElemBits = 32
+
+// trafficBytesPerResultBit is the off-array traffic of a bandwidth-bound
+// platform per result bit: read two operand bits, write one result bit —
+// 3 bits = 3/8 bytes regardless of op (the add reads/writes the same
+// streams word-wise).
+const trafficBytesPerResultBit = 3.0 / 8.0
+
+// OpLatencyNS returns the latency of one bulk operation over nBits-bit
+// operands on this platform.
+func (s Spec) OpLatencyNS(op BulkOp, nBits float64) float64 {
+	if nBits <= 0 {
+		panic(fmt.Sprintf("platforms: non-positive operand size %v", nBits))
+	}
+	switch s.Kind {
+	case KindBandwidth:
+		bytes := nBits * trafficBytesPerResultBit
+		return s.LaunchOverheadNS + bytes/s.SeqBandwidthGBs // GB/s == bytes/ns
+	case KindInSitu:
+		g := PIMGeometry()
+		lanes := float64(g.ParallelBits())
+		var aapsPerWave float64
+		var waves float64
+		switch op {
+		case OpXNOR:
+			// One wave computes `lanes` result bits.
+			aapsPerWave = s.XNORCycles
+			waves = ceilDiv(nBits, lanes)
+		case OpAdd:
+			// One wave computes `lanes` element lanes × AddElemBits result
+			// bits, at AddCyclesPerBit AAPs per bit-plane.
+			aapsPerWave = s.AddCyclesPerBit * AddElemBits
+			waves = ceilDiv(nBits/AddElemBits, lanes)
+		default:
+			panic(fmt.Sprintf("platforms: unknown op %v", op))
+		}
+		return 2e3 + waves*aapsPerWave*AAPLatencyNS()
+	default:
+		panic(fmt.Sprintf("platforms: unknown kind %v", s.Kind))
+	}
+}
+
+// Throughput returns bits of operand processed per second for the bulk op.
+func (s Spec) Throughput(op BulkOp, nBits float64) float64 {
+	return nBits / s.OpLatencyNS(op, nBits) * 1e9
+}
+
+func ceilDiv(a, b float64) float64 {
+	w := a / b
+	if float64(int64(w)) != w {
+		return float64(int64(w)) + 1
+	}
+	return w
+}
+
+// ThroughputRow is one platform's series over the paper's three vector
+// lengths (2^27, 2^28, 2^29 bits), per Fig. 3b.
+type ThroughputRow struct {
+	Platform string
+	Op       BulkOp
+	BitsPerS [3]float64 // at 2^27, 2^28, 2^29 bits
+}
+
+// Fig3bSizes lists the micro-benchmark vector lengths.
+func Fig3bSizes() []float64 {
+	return []float64{1 << 27, 1 << 28, 1 << 29}
+}
+
+// Fig3b computes the full Fig. 3b matrix: throughput of XNOR and addition
+// for every platform at every vector length.
+func Fig3b() []ThroughputRow {
+	var rows []ThroughputRow
+	for _, op := range []BulkOp{OpXNOR, OpAdd} {
+		for _, s := range All() {
+			r := ThroughputRow{Platform: s.Name, Op: op}
+			for i, n := range Fig3bSizes() {
+				r.BitsPerS[i] = s.Throughput(op, n)
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// MeanThroughput averages a row's three sizes.
+func (r ThroughputRow) MeanThroughput() float64 {
+	return (r.BitsPerS[0] + r.BitsPerS[1] + r.BitsPerS[2]) / 3
+}

@@ -1,0 +1,239 @@
+// Package sched is the controller's command scheduler model: it maps a
+// stream of per-sub-array DRAM commands onto the shared command bus and the
+// banks' concurrency limits, computing the parallel makespan that the
+// simple serial Meter total over-states. This is the timing glue between
+// the functional simulator (which counts commands) and the analytical
+// models (which assume a level of parallelism): the scheduler derives that
+// parallelism from first principles — issue bandwidth, per-sub-array
+// occupancy, and the per-bank activation budget.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"pimassembler/internal/dram"
+)
+
+// Command is one scheduled unit: a DRAM command bound for a sub-array.
+type Command struct {
+	Subarray int
+	Kind     dram.CommandKind
+}
+
+// Config bounds the schedule.
+type Config struct {
+	// Timing supplies per-command durations.
+	Timing dram.Timing
+	// IssueIntervalNS is the minimum spacing between command issues on the
+	// shared bus (command/address bandwidth).
+	IssueIntervalNS float64
+	// SubarraysPerBank maps sub-array IDs to banks (ID / SubarraysPerBank).
+	SubarraysPerBank int
+	// MaxActivePerBank caps concurrently executing commands per bank — the
+	// charge-pump/power-delivery budget that keeps whole-bank concurrent
+	// activation from browning out the array.
+	MaxActivePerBank int
+}
+
+// DefaultConfig returns the PIM-Assembler controller's parameters for a
+// geometry: one command per bus clock, banks sized per the geometry, and a
+// per-bank activation budget of a quarter of its sub-arrays.
+func DefaultConfig(g dram.Geometry, t dram.Timing) Config {
+	return Config{
+		Timing:           t,
+		IssueIntervalNS:  t.TCK,
+		SubarraysPerBank: g.SubarraysPerBank(),
+		MaxActivePerBank: max(1, g.SubarraysPerBank()/4),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.IssueIntervalNS <= 0 {
+		return fmt.Errorf("sched: non-positive issue interval %v", c.IssueIntervalNS)
+	}
+	if c.SubarraysPerBank <= 0 || c.MaxActivePerBank <= 0 {
+		return fmt.Errorf("sched: non-positive bank parameters %+v", c)
+	}
+	return nil
+}
+
+// duration returns a command's occupancy of its sub-array.
+func (c Config) duration(kind dram.CommandKind) float64 {
+	switch kind {
+	case dram.CmdActivate:
+		return c.Timing.TRAS
+	case dram.CmdPrecharge:
+		return c.Timing.TRP
+	case dram.CmdRead, dram.CmdWrite:
+		return c.Timing.ReadLatency()
+	case dram.CmdAAPCopy, dram.CmdAAP2, dram.CmdAAP3:
+		return c.Timing.AAP()
+	case dram.CmdDPU:
+		return c.Timing.TCK
+	default:
+		panic(fmt.Sprintf("sched: unknown command kind %v", kind))
+	}
+}
+
+// Result summarises one schedule.
+type Result struct {
+	MakespanNS    float64
+	SerialNS      float64 // sum of command durations (the Meter view)
+	Commands      int
+	Speedup       float64 // SerialNS / MakespanNS
+	BusBoundPct   float64 // fraction of makespan the bus was issuing
+	PeakParallel  int     // maximum concurrently executing commands
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("sched.Result{%d cmds, makespan %.1f µs, speedup %.1fx, bus %.0f%%, peak %d}",
+		r.Commands, r.MakespanNS/1e3, r.Speedup, r.BusBoundPct, r.PeakParallel)
+}
+
+// endHeap is a min-heap of completion times.
+type endHeap []float64
+
+func (h endHeap) Len() int            { return len(h) }
+func (h endHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h endHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *endHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Schedule runs the greedy in-order scheduler: commands issue in stream
+// order, each at the earliest time satisfying (1) the command-bus spacing,
+// (2) its sub-array being free, and (3) its bank having an activation slot.
+// Commands to distinct sub-arrays overlap freely within those constraints,
+// which is exactly the intra-sub-array parallelism the paper exploits.
+func Schedule(cmds []Command, cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	var res Result
+	res.Commands = len(cmds)
+	if len(cmds) == 0 {
+		return res
+	}
+
+	subFree := make(map[int]float64)
+	bankActive := make(map[int]*endHeap)
+	var nextIssue float64
+	var makespan float64
+
+	// Global active-interval tracking for peak parallelism.
+	type edge struct {
+		t     float64
+		delta int
+	}
+	var edges []edge
+
+	for _, cmd := range cmds {
+		if cmd.Subarray < 0 {
+			panic(fmt.Sprintf("sched: negative sub-array id %d", cmd.Subarray))
+		}
+		dur := cfg.duration(cmd.Kind)
+		res.SerialNS += dur
+		bank := cmd.Subarray / cfg.SubarraysPerBank
+
+		start := nextIssue
+		if f := subFree[cmd.Subarray]; f > start {
+			start = f
+		}
+		h := bankActive[bank]
+		if h == nil {
+			h = &endHeap{}
+			bankActive[bank] = h
+		}
+		// Drop completed intervals, then wait for a slot if saturated.
+		for h.Len() > 0 && (*h)[0] <= start {
+			heap.Pop(h)
+		}
+		if h.Len() >= cfg.MaxActivePerBank {
+			earliest := (*h)[0]
+			if earliest > start {
+				start = earliest
+			}
+			for h.Len() > 0 && (*h)[0] <= start {
+				heap.Pop(h)
+			}
+		}
+
+		end := start + dur
+		subFree[cmd.Subarray] = end
+		heap.Push(h, end)
+		nextIssue = start + cfg.IssueIntervalNS
+		if end > makespan {
+			makespan = end
+		}
+		edges = append(edges, edge{start, 1}, edge{end, -1})
+	}
+
+	res.MakespanNS = makespan
+	if makespan > 0 {
+		res.Speedup = res.SerialNS / makespan
+		res.BusBoundPct = 100 * float64(len(cmds)) * cfg.IssueIntervalNS / makespan
+		if res.BusBoundPct > 100 {
+			res.BusBoundPct = 100
+		}
+	}
+
+	// Peak parallelism via sweep (ends sort before starts at equal times).
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta < edges[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	res.PeakParallel = peak
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RoundRobinTrace expands aggregate command counts into a trace that
+// spreads the work evenly over nSubarrays — the helper that turns a Meter's
+// counts into a schedulable stream when per-command attribution was not
+// recorded. Commands interleave by kind in a fixed order for determinism.
+func RoundRobinTrace(counts map[dram.CommandKind]int64, nSubarrays int) []Command {
+	if nSubarrays <= 0 {
+		panic(fmt.Sprintf("sched: non-positive sub-array count %d", nSubarrays))
+	}
+	kinds := []dram.CommandKind{
+		dram.CmdAAPCopy, dram.CmdAAP2, dram.CmdAAP3,
+		dram.CmdRead, dram.CmdWrite, dram.CmdDPU,
+		dram.CmdActivate, dram.CmdPrecharge,
+	}
+	var out []Command
+	i := 0
+	for _, k := range kinds {
+		for n := int64(0); n < counts[k]; n++ {
+			out = append(out, Command{Subarray: i % nSubarrays, Kind: k})
+			i++
+		}
+	}
+	return out
+}

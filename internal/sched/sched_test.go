@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimassembler/internal/dram"
+	"pimassembler/internal/stats"
+)
+
+func cfg() Config {
+	return DefaultConfig(dram.Default(), dram.DefaultTiming())
+}
+
+func TestEmptySchedule(t *testing.T) {
+	r := Schedule(nil, cfg())
+	if r.MakespanNS != 0 || r.Commands != 0 {
+		t.Fatalf("empty schedule %+v", r)
+	}
+}
+
+func TestSingleCommand(t *testing.T) {
+	r := Schedule([]Command{{Subarray: 0, Kind: dram.CmdAAP2}}, cfg())
+	want := dram.DefaultTiming().AAP()
+	if r.MakespanNS != want {
+		t.Fatalf("makespan %v, want one AAP %v", r.MakespanNS, want)
+	}
+	if r.Speedup != 1 {
+		t.Fatalf("speedup %v, want 1", r.Speedup)
+	}
+	if r.PeakParallel != 1 {
+		t.Fatalf("peak %d, want 1", r.PeakParallel)
+	}
+}
+
+func TestSameSubarraySerializes(t *testing.T) {
+	cmds := make([]Command, 10)
+	for i := range cmds {
+		cmds[i] = Command{Subarray: 0, Kind: dram.CmdAAPCopy}
+	}
+	r := Schedule(cmds, cfg())
+	want := 10 * dram.DefaultTiming().AAP()
+	if r.MakespanNS < want {
+		t.Fatalf("makespan %v below serial bound %v for one sub-array", r.MakespanNS, want)
+	}
+	if r.PeakParallel != 1 {
+		t.Fatalf("peak parallel %d on a single sub-array", r.PeakParallel)
+	}
+}
+
+func TestDistinctSubarraysOverlap(t *testing.T) {
+	cmds := make([]Command, 10)
+	for i := range cmds {
+		cmds[i] = Command{Subarray: i * cfg().SubarraysPerBank, Kind: dram.CmdAAPCopy} // distinct banks
+	}
+	r := Schedule(cmds, cfg())
+	serial := 10 * dram.DefaultTiming().AAP()
+	if r.MakespanNS >= serial/2 {
+		t.Fatalf("makespan %v shows no overlap (serial %v)", r.MakespanNS, serial)
+	}
+	if r.Speedup < 5 {
+		t.Fatalf("speedup %v too low for 10 independent banks", r.Speedup)
+	}
+	if r.PeakParallel < 5 {
+		t.Fatalf("peak %d too low", r.PeakParallel)
+	}
+}
+
+func TestBankConcurrencyCap(t *testing.T) {
+	c := cfg()
+	c.MaxActivePerBank = 2
+	// 8 commands to 8 distinct sub-arrays of the SAME bank.
+	cmds := make([]Command, 8)
+	for i := range cmds {
+		cmds[i] = Command{Subarray: i, Kind: dram.CmdAAP2}
+	}
+	r := Schedule(cmds, c)
+	aap := dram.DefaultTiming().AAP()
+	// With 2 slots, 8 commands need at least 4 rounds.
+	if r.MakespanNS < 4*aap {
+		t.Fatalf("makespan %v violates the bank cap (want >= %v)", r.MakespanNS, 4*aap)
+	}
+	if r.PeakParallel > 2 {
+		t.Fatalf("peak %d exceeds the per-bank cap 2", r.PeakParallel)
+	}
+}
+
+func TestBusIssueBound(t *testing.T) {
+	c := cfg()
+	c.IssueIntervalNS = 50 // artificially slow bus
+	cmds := make([]Command, 100)
+	for i := range cmds {
+		cmds[i] = Command{Subarray: i, Kind: dram.CmdDPU}
+	}
+	r := Schedule(cmds, c)
+	if r.MakespanNS < 99*50 {
+		t.Fatalf("makespan %v below the bus bound %v", r.MakespanNS, 99*50.0)
+	}
+	if r.BusBoundPct < 90 {
+		t.Fatalf("bus-bound fraction %.1f%% should dominate", r.BusBoundPct)
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	// Property: serial/NS >= makespan >= serial/N for any trace.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(200)
+		kinds := []dram.CommandKind{
+			dram.CmdAAPCopy, dram.CmdAAP2, dram.CmdAAP3, dram.CmdRead,
+			dram.CmdWrite, dram.CmdDPU, dram.CmdActivate, dram.CmdPrecharge,
+		}
+		cmds := make([]Command, n)
+		for i := range cmds {
+			cmds[i] = Command{
+				Subarray: rng.Intn(64),
+				Kind:     kinds[rng.Intn(len(kinds))],
+			}
+		}
+		r := Schedule(cmds, cfg())
+		if r.MakespanNS > r.SerialNS+1e-6 {
+			return false // never slower than fully serial
+		}
+		return r.MakespanNS > 0 && r.Speedup >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinTrace(t *testing.T) {
+	counts := map[dram.CommandKind]int64{
+		dram.CmdAAP2:    10,
+		dram.CmdAAPCopy: 20,
+	}
+	trace := RoundRobinTrace(counts, 4)
+	if len(trace) != 30 {
+		t.Fatalf("trace length %d, want 30", len(trace))
+	}
+	perSub := map[int]int{}
+	for _, c := range trace {
+		perSub[c.Subarray]++
+	}
+	for sub, n := range perSub {
+		if n < 7 || n > 8 {
+			t.Fatalf("sub-array %d got %d commands; uneven spread", sub, n)
+		}
+	}
+}
+
+func TestRoundRobinTraceScheduleSpeedsUp(t *testing.T) {
+	counts := map[dram.CommandKind]int64{dram.CmdAAP2: 1024}
+	g := dram.Default()
+	tm := dram.DefaultTiming()
+	one := Schedule(RoundRobinTrace(counts, 1), DefaultConfig(g, tm))
+	many := Schedule(RoundRobinTrace(counts, 256), DefaultConfig(g, tm))
+	if many.MakespanNS >= one.MakespanNS {
+		t.Fatalf("parallel spread no faster: %v vs %v", many.MakespanNS, one.MakespanNS)
+	}
+	if many.Speedup < 8 {
+		t.Fatalf("speedup %v too low over 256 sub-arrays", many.Speedup)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.IssueIntervalNS = 0 },
+		func(c *Config) { c.SubarraysPerBank = 0 },
+		func(c *Config) { c.MaxActivePerBank = 0 },
+	} {
+		c := cfg()
+		mutate(&c)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid config accepted")
+				}
+			}()
+			Schedule([]Command{{0, dram.CmdDPU}}, c)
+		}()
+	}
+}

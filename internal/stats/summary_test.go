@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("median %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero, got %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("unexpected single-element summary %+v", s)
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max for any sample.
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			// Exclude magnitudes whose running sum could overflow; the
+			// invariant under test is ordering, not extended-range safety.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) should be 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean with zero did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin0=%d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("bins %v", h.Counts)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total %d, want 7", h.Total())
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Fatalf("bin 0 center %v, want 1", c)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

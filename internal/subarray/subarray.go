@@ -1,0 +1,335 @@
+// Package subarray is the bit-accurate functional model of one PIM-Assembler
+// computational sub-array: 1016 data rows plus 8 compute rows (x1..x8) wired
+// to the modified row decoder, a reconfigurable sense amplifier per
+// bit-line, and the MAT-level DPU reduction port.
+//
+// Every operation both computes the digital result and records its DRAM
+// command cost on the sub-array's Meter, so functional runs double as
+// cycle/energy measurements. The digital fast path is property-tested
+// against the analog model in internal/circuit (see verify_test.go): the
+// charge-sharing sense amplifier and these bitwise operations are the same
+// function expressed at two abstraction levels.
+package subarray
+
+import (
+	"fmt"
+
+	"pimassembler/internal/bitvec"
+	"pimassembler/internal/dram"
+)
+
+// FaultHook observes (and may corrupt) the result row of an in-memory
+// compute operation before it is written back — the injection point for
+// process-variation fault studies (internal/fault). kind identifies the
+// mechanism: CmdAAP2 for two-row activation, CmdAAP3 for TRA.
+type FaultHook func(kind dram.CommandKind, result *bitvec.Vector)
+
+// Subarray models one computational sub-array.
+type Subarray struct {
+	rows        int
+	cols        int
+	computeRows int
+
+	cells []*bitvec.Vector // row-major cell state
+	latch *bitvec.Vector   // per-column SA D-latch (carry storage)
+	meter *dram.Meter
+	fault FaultHook
+}
+
+// SetFaultHook installs (or clears, with nil) the fault-injection hook.
+func (s *Subarray) SetFaultHook(h FaultHook) { s.fault = h }
+
+// applyFault runs the hook on a freshly computed result row.
+func (s *Subarray) applyFault(kind dram.CommandKind, result *bitvec.Vector) {
+	if s.fault != nil {
+		s.fault(kind, result)
+	}
+}
+
+// New creates a sub-array from a geometry and a command meter. The meter may
+// be shared across sub-arrays that execute sequentially, or one per
+// sub-array for parallel regions (merge afterwards).
+func New(g dram.Geometry, meter *dram.Meter) *Subarray {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Subarray{
+		rows:        g.RowsPerSubarray,
+		cols:        g.ColsPerSubarray,
+		computeRows: g.ComputeRows,
+		cells:       make([]*bitvec.Vector, g.RowsPerSubarray),
+		latch:       bitvec.New(g.ColsPerSubarray),
+		meter:       meter,
+	}
+	for i := range s.cells {
+		s.cells[i] = bitvec.New(g.ColsPerSubarray)
+	}
+	return s
+}
+
+// Rows returns the total row count (data + compute).
+func (s *Subarray) Rows() int { return s.rows }
+
+// Cols returns the number of bit-lines.
+func (s *Subarray) Cols() int { return s.cols }
+
+// DataRows returns the number of regular rows.
+func (s *Subarray) DataRows() int { return s.rows - s.computeRows }
+
+// ComputeRow returns the absolute row index of compute row x(i+1), i.e.
+// ComputeRow(0) is x1. Compute rows occupy the top of the row space.
+func (s *Subarray) ComputeRow(i int) int {
+	if i < 0 || i >= s.computeRows {
+		panic(fmt.Sprintf("subarray: compute row %d out of range [0,%d)", i, s.computeRows))
+	}
+	return s.rows - s.computeRows + i
+}
+
+// IsComputeRow reports whether absolute row r is one of x1..x8.
+func (s *Subarray) IsComputeRow(r int) bool {
+	return r >= s.rows-s.computeRows && r < s.rows
+}
+
+func (s *Subarray) checkRow(r int) {
+	if r < 0 || r >= s.rows {
+		panic(fmt.Sprintf("subarray: row %d out of range [0,%d)", r, s.rows))
+	}
+}
+
+func (s *Subarray) checkComputeRow(r int) {
+	s.checkRow(r)
+	if !s.IsComputeRow(r) {
+		panic(fmt.Sprintf("subarray: row %d is not a compute row; the modified row decoder only multi-activates x1..x%d", r, s.computeRows))
+	}
+}
+
+// Meter returns the command meter.
+func (s *Subarray) Meter() *dram.Meter { return s.meter }
+
+// Write stores data into row r through the normal memory path.
+func (s *Subarray) Write(r int, data *bitvec.Vector) {
+	s.checkRow(r)
+	s.cells[r].CopyFrom(data)
+	s.meter.Record(dram.CmdWrite, 1)
+}
+
+// Read returns a copy of row r through the normal memory path.
+func (s *Subarray) Read(r int) *bitvec.Vector {
+	s.checkRow(r)
+	s.meter.Record(dram.CmdRead, 1)
+	return s.cells[r].Clone()
+}
+
+// Peek returns row r without cost accounting (simulator introspection only).
+func (s *Subarray) Peek(r int) *bitvec.Vector {
+	s.checkRow(r)
+	return s.cells[r].Clone()
+}
+
+// Poke sets row r without cost accounting (simulator setup only).
+func (s *Subarray) Poke(r int, data *bitvec.Vector) {
+	s.checkRow(r)
+	s.cells[r].CopyFrom(data)
+}
+
+// RowClone copies row src to row dst with a type-1 AAP (RowClone FPM).
+func (s *Subarray) RowClone(src, dst int) {
+	s.checkRow(src)
+	s.checkRow(dst)
+	s.cells[dst].CopyFrom(s.cells[src])
+	s.meter.Record(dram.CmdAAPCopy, 1)
+}
+
+// TwoRowXNOR executes the paper's single-cycle type-2 AAP: compute rows xa
+// and xb are simultaneously activated, the reconfigurable SA resolves XNOR2
+// on BL (and XOR2 on BLbar), and the result is written to dst. The charge
+// sharing is destructive: both compute rows restore to the XNOR2 result,
+// matching the Fig. 3a transient where the cell capacitors end at the
+// result value.
+func (s *Subarray) TwoRowXNOR(xa, xb, dst int) {
+	s.checkComputeRow(xa)
+	s.checkComputeRow(xb)
+	s.checkRow(dst)
+	res := bitvec.New(s.cols)
+	res.Xnor(s.cells[xa], s.cells[xb])
+	s.applyFault(dram.CmdAAP2, res)
+	s.cells[xa].CopyFrom(res)
+	s.cells[xb].CopyFrom(res)
+	s.cells[dst].CopyFrom(res)
+	s.meter.Record(dram.CmdAAP2, 1)
+}
+
+// TwoRowXOR is TwoRowXNOR with the MUX selectors swapped so dst receives
+// XOR2 (the complementary BLbar value).
+func (s *Subarray) TwoRowXOR(xa, xb, dst int) {
+	s.checkComputeRow(xa)
+	s.checkComputeRow(xb)
+	s.checkRow(dst)
+	res := bitvec.New(s.cols)
+	res.Xor(s.cells[xa], s.cells[xb])
+	s.applyFault(dram.CmdAAP2, res)
+	xnor := bitvec.New(s.cols)
+	xnor.Not(res)
+	// Cells restore to the BL value (XNOR side in this MUX configuration
+	// feeds the write-back, complement goes to dst).
+	s.cells[xa].CopyFrom(xnor)
+	s.cells[xb].CopyFrom(xnor)
+	s.cells[dst].CopyFrom(res)
+	s.meter.Record(dram.CmdAAP2, 1)
+}
+
+// TRACarry executes the type-3 AAP (Ambit triple-row activation): rows xa,
+// xb, xc are activated together, the regular SA resolves 3-input majority,
+// the result lands in dst and is captured by the per-column D-latch. All
+// three compute rows restore to the majority value.
+func (s *Subarray) TRACarry(xa, xb, xc, dst int) {
+	s.checkComputeRow(xa)
+	s.checkComputeRow(xb)
+	s.checkComputeRow(xc)
+	s.checkRow(dst)
+	res := bitvec.New(s.cols)
+	res.Maj3(s.cells[xa], s.cells[xb], s.cells[xc])
+	s.applyFault(dram.CmdAAP3, res)
+	s.cells[xa].CopyFrom(res)
+	s.cells[xb].CopyFrom(res)
+	s.cells[xc].CopyFrom(res)
+	s.cells[dst].CopyFrom(res)
+	s.latch.CopyFrom(res)
+	s.meter.Record(dram.CmdAAP3, 1)
+}
+
+// SumWithLatch executes the Sum cycle of the paper's two-cycle addition:
+// with the latch enabled, the add-on XOR gate combines the two-row XOR2 of
+// xa, xb with the previously latched carry, producing
+// dst = xa XOR xb XOR latch. The compute rows restore to their XNOR2 value
+// as in TwoRowXNOR; the latch is preserved for inspection.
+func (s *Subarray) SumWithLatch(xa, xb, dst int) {
+	s.checkComputeRow(xa)
+	s.checkComputeRow(xb)
+	s.checkRow(dst)
+	x := bitvec.New(s.cols)
+	x.Xor(s.cells[xa], s.cells[xb])
+	sum := bitvec.New(s.cols)
+	sum.Xor(x, s.latch)
+	s.applyFault(dram.CmdAAP2, sum)
+	xnor := bitvec.New(s.cols)
+	xnor.Not(x)
+	s.cells[xa].CopyFrom(xnor)
+	s.cells[xb].CopyFrom(xnor)
+	s.cells[dst].CopyFrom(sum)
+	s.meter.Record(dram.CmdAAP2, 1)
+}
+
+// ResetLatch clears the carry latch (one DPU-issued control op).
+func (s *Subarray) ResetLatch() {
+	s.latch.Fill(false)
+	s.meter.Record(dram.CmdDPU, 1)
+}
+
+// LatchState returns a copy of the carry latch.
+func (s *Subarray) LatchState() *bitvec.Vector { return s.latch.Clone() }
+
+// XNOR is the staged convenience operation the controller issues for
+// PIM_XNOR: RowClone srcA→x1, RowClone srcB→x2, then the single-cycle
+// two-row XNOR into dst. Cost: 3 AAPs.
+func (s *Subarray) XNOR(srcA, srcB, dst int) {
+	x1, x2 := s.ComputeRow(0), s.ComputeRow(1)
+	s.RowClone(srcA, x1)
+	s.RowClone(srcB, x2)
+	s.TwoRowXNOR(x1, x2, dst)
+}
+
+// MatchAllOnes is the DPU's row-wide AND reduction: it reads the sub-array's
+// sensed row r and reports whether every bit is '1'. Used after a PIM_XNOR
+// to detect an exact k-mer match (Fig. 7).
+func (s *Subarray) MatchAllOnes(r int) bool {
+	s.checkRow(r)
+	s.meter.Record(dram.CmdDPU, 1)
+	return s.cells[r].AllOnes()
+}
+
+// DPUPopCount is the DPU's population-count reduction over row r, used by
+// degree accumulation checks.
+func (s *Subarray) DPUPopCount(r int) int {
+	s.checkRow(r)
+	s.meter.Record(dram.CmdDPU, 1)
+	return s.cells[r].PopCount()
+}
+
+// TwoRowNOR drives dst with the low-Vs detector's NOR2 of two compute rows
+// (the out1 path of Fig. 2b, selected by the MUX). Destructive like the
+// other two-row activations: the compute rows restore to the result.
+func (s *Subarray) TwoRowNOR(xa, xb, dst int) {
+	s.checkComputeRow(xa)
+	s.checkComputeRow(xb)
+	s.checkRow(dst)
+	res := bitvec.New(s.cols)
+	or := bitvec.New(s.cols)
+	or.Or(s.cells[xa], s.cells[xb])
+	res.Not(or)
+	s.applyFault(dram.CmdAAP2, res)
+	s.cells[xa].CopyFrom(res)
+	s.cells[xb].CopyFrom(res)
+	s.cells[dst].CopyFrom(res)
+	s.meter.Record(dram.CmdAAP2, 1)
+}
+
+// TwoRowNAND drives dst with the high-Vs detector's NAND2 of two compute
+// rows (the out2 path of Fig. 2b).
+func (s *Subarray) TwoRowNAND(xa, xb, dst int) {
+	s.checkComputeRow(xa)
+	s.checkComputeRow(xb)
+	s.checkRow(dst)
+	res := bitvec.New(s.cols)
+	and := bitvec.New(s.cols)
+	and.And(s.cells[xa], s.cells[xb])
+	res.Not(and)
+	s.applyFault(dram.CmdAAP2, res)
+	s.cells[xa].CopyFrom(res)
+	s.cells[xb].CopyFrom(res)
+	s.cells[dst].CopyFrom(res)
+	s.meter.Record(dram.CmdAAP2, 1)
+}
+
+// XNOREmulatedTRA computes srcA XNOR srcB into dst using only the
+// operations a majority-based design (Ambit) has: triple-row-activation
+// majority with initialised control rows and one-cycle row inversion
+// (dual-contact NOT, modelled by the XOR-with-ones path at equal cost).
+// The identity is a XNOR b = OR(AND(a, b), AND(NOT a, NOT b)).
+//
+// It exists for the baseline-emulation studies: building the same hash
+// table with XNOR (3 command slots) and XNOREmulatedTRA (18 slots) measures
+// the end-to-end cost gap between the paper's single-cycle mechanism and
+// the majority-based alternative on identical data.
+func (s *Subarray) XNOREmulatedTRA(srcA, srcB, dst int) {
+	x1, x2, x3 := s.ComputeRow(0), s.ComputeRow(1), s.ComputeRow(2)
+	// Scratch rows live in the compute region to avoid clobbering data.
+	notA, notB := s.ComputeRow(3), s.ComputeRow(4)
+	and1, and2 := s.ComputeRow(5), s.ComputeRow(6)
+	zeroV := bitvec.New(s.cols)
+	onesV := bitvec.New(s.cols)
+	onesV.Fill(true)
+
+	// and1 = MAJ(a, b, 0).
+	s.Write(x3, zeroV)
+	s.RowClone(srcA, x1)
+	s.RowClone(srcB, x2)
+	s.TRACarry(x1, x2, x3, and1)
+	// notA = a XOR 1, notB = b XOR 1.
+	s.Write(x2, onesV)
+	s.RowClone(srcA, x1)
+	s.TwoRowXOR(x1, x2, notA)
+	s.Write(x2, onesV)
+	s.RowClone(srcB, x1)
+	s.TwoRowXOR(x1, x2, notB)
+	// and2 = MAJ(notA, notB, 0).
+	s.Write(x3, zeroV)
+	s.RowClone(notA, x1)
+	s.RowClone(notB, x2)
+	s.TRACarry(x1, x2, x3, and2)
+	// dst = MAJ(and1, and2, 1) = OR.
+	s.Write(x3, onesV)
+	s.RowClone(and1, x1)
+	s.RowClone(and2, x2)
+	s.TRACarry(x1, x2, x3, dst)
+}

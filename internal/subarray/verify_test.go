@@ -1,0 +1,112 @@
+package subarray
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimassembler/internal/circuit"
+	"pimassembler/internal/stats"
+)
+
+// These tests tie the digital fast path to the analog model: every bitwise
+// function the sub-array computes must agree, bit for bit, with what the
+// charge-sharing sense amplifier resolves. This is the repository's
+// cross-abstraction invariant (DESIGN.md §4.2).
+
+func TestXNORAgreesWithSenseAmp(t *testing.T) {
+	s := newTestSubarray()
+	sa := circuit.NewSenseAmp()
+	rng := stats.NewRNG(77)
+	a, b := randomRow(rng, 256), randomRow(rng, 256)
+	x1, x2 := s.ComputeRow(0), s.ComputeRow(1)
+	s.Poke(x1, a)
+	s.Poke(x2, b)
+	s.TwoRowXNOR(x1, x2, 0)
+	digital := s.Peek(0)
+	for i := 0; i < 256; i++ {
+		analog, _ := sa.SenseXNOR(a.Get(i), b.Get(i))
+		if digital.Get(i) != analog {
+			t.Fatalf("bit %d: digital %v, analog %v for (%v,%v)",
+				i, digital.Get(i), analog, a.Get(i), b.Get(i))
+		}
+	}
+}
+
+func TestTRAAgreesWithSenseAmp(t *testing.T) {
+	s := newTestSubarray()
+	sa := circuit.NewSenseAmp()
+	rng := stats.NewRNG(78)
+	a, b, c := randomRow(rng, 256), randomRow(rng, 256), randomRow(rng, 256)
+	x1, x2, x3 := s.ComputeRow(0), s.ComputeRow(1), s.ComputeRow(2)
+	s.Poke(x1, a)
+	s.Poke(x2, b)
+	s.Poke(x3, c)
+	s.TRACarry(x1, x2, x3, 0)
+	digital := s.Peek(0)
+	for i := 0; i < 256; i++ {
+		if analog := sa.SenseCarry(a.Get(i), b.Get(i), c.Get(i)); digital.Get(i) != analog {
+			t.Fatalf("bit %d: digital %v, analog %v", i, digital.Get(i), analog)
+		}
+	}
+}
+
+// Property: full-adder semantics of (SumWithLatch after TRACarry) agree with
+// the circuit-level SenseSum/SenseCarry pair for every bit.
+func TestFullAdderAgreesWithSenseAmp(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		s := newTestSubarray()
+		sa := circuit.NewSenseAmp()
+		a, b, cin := randomRow(rng, 256), randomRow(rng, 256), randomRow(rng, 256)
+		x1, x2, x3 := s.ComputeRow(0), s.ComputeRow(1), s.ComputeRow(2)
+
+		// Latch cin (TRA of the carry row against itself), then Sum.
+		s.Poke(x1, cin)
+		s.Poke(x2, cin)
+		s.Poke(x3, cin)
+		s.TRACarry(x1, x2, x3, 1)
+		s.Poke(x1, a)
+		s.Poke(x2, b)
+		s.SumWithLatch(x1, x2, 0)
+		sum := s.Peek(0)
+
+		// Carry out.
+		s.Poke(x1, a)
+		s.Poke(x2, b)
+		s.Poke(x3, cin)
+		s.TRACarry(x1, x2, x3, 2)
+		carry := s.Peek(2)
+
+		for i := 0; i < 256; i++ {
+			sa.SetLatch(cin.Get(i))
+			wantSum := sa.SenseSum(a.Get(i), b.Get(i))
+			wantCarry := sa.SenseCarry(a.Get(i), b.Get(i), cin.Get(i))
+			if sum.Get(i) != wantSum || carry.Get(i) != wantCarry {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The transient simulation's final rails must agree with the functional
+// XNOR for all four input combinations — analog waveform and digital model
+// tell one story.
+func TestTransientAgreesWithFunctionalXNOR(t *testing.T) {
+	cfg := circuit.DefaultTransientConfig()
+	sa := circuit.NewSenseAmp()
+	for p := 0; p < 4; p++ {
+		di, dj := p&1 != 0, p&2 != 0
+		samples := circuit.SimulateXNOR2(cfg, di, dj)
+		xnor, _ := sa.SenseXNOR(di, dj)
+		finalCell := circuit.FinalCellVoltage(samples)
+		gotBit := finalCell > circuit.Vdd/2
+		if gotBit != xnor {
+			t.Errorf("DiDj=%v%v: transient cell %.2fV implies %v, functional XNOR %v",
+				di, dj, finalCell, gotBit, xnor)
+		}
+	}
+}
