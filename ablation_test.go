@@ -231,18 +231,27 @@ func BenchmarkAblationHashCapacity(b *testing.B) {
 // the same command load mapped onto 1, 16, or 256 sub-arrays, with the
 // makespan collapsing as independent sub-arrays overlap.
 func BenchmarkAblationSchedulerSpread(b *testing.B) {
-	counts := map[dram.CommandKind]int64{
-		dram.CmdAAPCopy: 2048,
-		dram.CmdAAP2:    1024,
-		dram.CmdAAP3:    512,
+	mix := []struct {
+		kind dram.CommandKind
+		n    int
+	}{
+		{dram.CmdAAPCopy, 2048},
+		{dram.CmdAAP2, 1024},
+		{dram.CmdAAP3, 512},
 	}
 	g := dram.Default()
 	tm := dram.DefaultTiming()
 	for _, spread := range []int{1, 16, 256} {
+		var cmds []sched.Command
+		for _, m := range mix {
+			for i := 0; i < m.n; i++ {
+				cmds = append(cmds, sched.Command{Subarray: i % spread, Kind: m.kind})
+			}
+		}
 		b.Run(fmt.Sprintf("subarrays%d", spread), func(b *testing.B) {
 			var r sched.Result
 			for i := 0; i < b.N; i++ {
-				r = sched.Schedule(sched.RoundRobinTrace(counts, spread), sched.DefaultConfig(g, tm))
+				r = sched.Schedule(cmds, sched.DefaultConfig(g, tm))
 			}
 			b.ReportMetric(r.MakespanNS/1e3, "makespan-µs")
 			b.ReportMetric(r.Speedup, "overlap-x")

@@ -32,6 +32,7 @@ func main() {
 		minCount = flag.Uint("mincount", 0, "drop k-mers observed fewer times")
 		engine   = flag.String("engine", "software", "assembly engine: software | pim")
 		nsub     = flag.Int("subarrays", 16, "PIM engine: sub-arrays for the hash table")
+		parallel = flag.Bool("parallel", false, "PIM engine: shard stage 1 across hash sub-arrays (bit-identical)")
 		scaffold = flag.Bool("scaffold", false, "run stage 3 (greedy scaffolding)")
 		simplify = flag.Bool("simplify", false, "run Velvet-style tip/bubble removal after graph construction")
 		correctF = flag.Bool("correct", false, "run k-mer-spectrum read correction before counting")
@@ -62,12 +63,13 @@ func main() {
 		reads = genome.Flatten(pairs)
 	}
 	opts := assembly.Options{
-		K:          *k,
-		MinCount:   uint32(*minCount),
-		Scaffold:   *scaffold,
-		Simplify:   *simplify,
-		Correct:    *correctF,
-		MinOverlap: *k - 4,
+		K:              *k,
+		MinCount:       uint32(*minCount),
+		Scaffold:       *scaffold,
+		Simplify:       *simplify,
+		Correct:        *correctF,
+		MinOverlap:     *k - 4,
+		ParallelStage1: *parallel,
 	}
 
 	var (
@@ -91,11 +93,24 @@ func main() {
 		}
 		contigs = pres.Contigs
 		m := p.Meter()
-		fmt.Printf("PIM functional run: %d commands, %.2f ms serial command time, %.2f µJ array energy\n",
-			m.TotalCommands(), m.LatencyNS/1e6, m.EnergyPJ/1e6)
+		mode := "serial stage 1"
+		if *parallel {
+			mode = "sharded stage 1"
+		}
+		fmt.Printf("PIM functional run (%s): %d commands, %.2f ms serial command time, %.2f µJ array energy\n",
+			mode, m.TotalCommands(), m.LatencyNS/1e6, m.EnergyPJ/1e6)
 		est := p.ParallelEstimate()
 		fmt.Printf("scheduled makespan: %.2f ms (%.1fx overlap across %d sub-arrays)\n",
 			est.MakespanNS/1e6, est.Speedup, p.MaterializedSubarrays())
+		fmt.Println("per-stage command histogram:")
+		for _, line := range strings.Split(strings.TrimRight(p.Stream().Histogram().String(), "\n"), "\n") {
+			fmt.Println("  " + line)
+		}
+		stages := p.StageEstimates()
+		fmt.Println("per-stage attribution (serial cost, energy, scheduled makespan):")
+		for _, c := range p.Stream().Attribute(p.Timing(), p.Energy()) {
+			fmt.Printf("  %s  makespan %.1f µs\n", c, stages[c.Stage].MakespanNS/1e3)
+		}
 	default:
 		fail(fmt.Errorf("unknown engine %q", *engine))
 	}

@@ -13,6 +13,7 @@
 //	pimassembler fig10     # power/delay vs parallelism degree
 //	pimassembler fig11     # memory-bottleneck and utilization ratios
 //	pimassembler faults    # Table I rates injected into the pipeline
+//	pimassembler stream    # per-stage command histogram + makespan + energy
 //	pimassembler all       # everything, in order
 package main
 
@@ -37,6 +38,7 @@ var runners = map[string]func(io.Writer){
 	"faults": eval.RenderFaultStudy,
 	"ksweep": eval.RenderKSweep,
 	"sens":   eval.RenderSensitivity,
+	"stream": eval.RenderStream,
 	"all":    eval.RenderAll,
 }
 
@@ -67,5 +69,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: pimassembler [-csv] <experiment>")
-	fmt.Fprintln(os.Stderr, "experiments: fig2b fig3a fig3b table1 area fig9 fig10 fig11 faults ksweep sens all")
+	fmt.Fprintln(os.Stderr, "experiments: fig2b fig3a fig3b table1 area fig9 fig10 fig11 faults ksweep sens stream all")
 }

@@ -66,6 +66,30 @@ func main() {
 	fmt.Printf("\nfunctional PIM run (%d reads): contigs identical to software; %d DRAM commands, %.1f ms serial -> %.1f ms scheduled (%.0fx overlap), %.1f µJ\n",
 		len(small), m.TotalCommands(), m.LatencyNS/1e6, est.MakespanNS/1e6, est.Speedup, m.EnergyPJ/1e6)
 
+	// The recorded command stream attributes that cost to pipeline stages
+	// and prices each stage under the controller scheduler.
+	stages := p.StageEstimates()
+	fmt.Println("per-stage attribution from the recorded command stream:")
+	for _, c := range p.Stream().Attribute(p.Timing(), p.Energy()) {
+		fmt.Printf("  %s  makespan %.1f µs\n", c, stages[c.Stage].MakespanNS/1e3)
+	}
+
+	// Sharded stage 1 reproduces the serial run bit for bit.
+	pp := core.NewDefaultPlatform()
+	popts := opts
+	popts.ParallelStage1 = true
+	ppim, err := assembly.AssemblePIM(pp, small, popts, 64)
+	if err != nil {
+		panic(err)
+	}
+	for i := range pim.Contigs {
+		if !pim.Contigs[i].Seq.Equal(ppim.Contigs[i].Seq) {
+			panic("parallel stage 1 diverged from the serial path")
+		}
+	}
+	fmt.Printf("sharded stage 1: identical contigs, %d commands (serial %d)\n",
+		pp.Stream().Len(), p.Stream().Len())
+
 	// Stage 3 extension: greedy scaffolding.
 	scaffolds := assembly.ScaffoldContigs(sw.Contigs, 12)
 	fmt.Printf("stage 3 (extension): %d contigs -> %d scaffolds\n", len(sw.Contigs), len(scaffolds))

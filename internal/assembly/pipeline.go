@@ -41,6 +41,10 @@ type Options struct {
 	Scaffold bool
 	// MinOverlap is the minimum contig overlap stage 3 will join on.
 	MinOverlap int
+	// ParallelStage1 shards stage 1 of AssemblePIM across the hash table's
+	// sub-arrays with a bank-keyed worker pool (bit-identical to the serial
+	// path; ignored by the software reference pipeline).
+	ParallelStage1 bool
 }
 
 // DefaultOptions returns a pipeline configuration matching the paper's
@@ -77,8 +81,12 @@ type Result struct {
 	// EulerWalk is the Eulerian node walk when one exists (nil otherwise);
 	// contigs never depend on it.
 	EulerWalk []kmer.Kmer
-	Timings   StageTimings
-	Counts    OpCounts
+	// EulerErr is why no Eulerian walk was emitted (nil when EulerWalk is
+	// set). Real read sets rarely form a single Eulerian component, so this
+	// is diagnostic, not fatal.
+	EulerErr error
+	Timings  StageTimings
+	Counts   OpCounts
 }
 
 // Assemble runs the software reference pipeline over reads.
@@ -131,9 +139,13 @@ func Assemble(reads []*genome.Sequence, opts Options) (*Result, error) {
 	if opts.UseFleury {
 		if walk, err := res.Graph.FleuryPath(); err == nil {
 			res.EulerWalk = walk
+		} else {
+			res.EulerErr = err
 		}
 	} else if walk, err := res.Graph.EulerPath(); err == nil {
 		res.EulerWalk = walk
+	} else {
+		res.EulerErr = err
 	}
 	res.Contigs = res.Graph.Contigs()
 	res.Timings.Traverse = time.Since(start)
@@ -177,9 +189,14 @@ func measureCounts(reads []*genome.Sequence, k int, res *Result) OpCounts {
 	}
 }
 
+// readLen returns the mean read length, rounded to the nearest base.
 func readLen(reads []*genome.Sequence) int {
 	if len(reads) == 0 {
 		return 0
 	}
-	return reads[0].Len()
+	var total int64
+	for _, r := range reads {
+		total += int64(r.Len())
+	}
+	return int((total + int64(len(reads))/2) / int64(len(reads)))
 }

@@ -1,0 +1,172 @@
+package assembly
+
+import (
+	"testing"
+
+	"pimassembler/internal/core"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/sched"
+	"pimassembler/internal/stats"
+)
+
+// pimRun executes AssemblePIM on a fresh default platform with a fixed read
+// set and returns the platform and result.
+func pimRun(t *testing.T, parallel bool) (*core.Platform, *PIMResult) {
+	t.Helper()
+	rng := stats.NewRNG(91)
+	reads := genome.NewReadSampler(genome.GenerateGenome(1200, rng), 90, 0, rng).Sample(120)
+	p := core.NewDefaultPlatform()
+	res, err := AssemblePIM(p, reads, Options{K: 15, ParallelStage1: parallel}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res
+}
+
+// TestStreamMatchesMeter is the single-source-of-truth cross-check: for a
+// full AssemblePIM run, the recorded command stream's per-kind totals must
+// exactly equal the serial Meter's counts, and pricing the stream with the
+// platform's models must reproduce the Meter's latency and energy totals.
+func TestStreamMatchesMeter(t *testing.T) {
+	p, _ := pimRun(t, false)
+	m := p.Meter()
+	streamTotals := p.Stream().Totals()
+
+	if got, want := int64(p.Stream().Len()), m.TotalCommands(); got != want {
+		t.Fatalf("stream has %d commands, meter %d", got, want)
+	}
+	for kind, n := range m.Counts {
+		if streamTotals[kind] != n {
+			t.Fatalf("kind %v: stream %d, meter %d", kind, streamTotals[kind], n)
+		}
+	}
+	for kind, n := range streamTotals {
+		if m.Counts[kind] != n {
+			t.Fatalf("kind %v in stream (%d) but not meter", kind, n)
+		}
+	}
+
+	// The scheduled stream's serial total is the Meter's latency.
+	est := sched.ScheduleStream(p.Stream().Commands(), p.SchedConfig())
+	if !nearNS(est.SerialNS, m.LatencyNS) {
+		t.Fatalf("scheduled serial %v ns, meter %v ns", est.SerialNS, m.LatencyNS)
+	}
+	if est.MakespanNS > est.SerialNS+1e-6 {
+		t.Fatalf("makespan %v exceeds serial %v", est.MakespanNS, est.SerialNS)
+	}
+
+	// Per-stage attribution sums back to the Meter totals.
+	var ns, pj float64
+	for _, c := range p.Stream().Attribute(p.Timing(), p.Energy()) {
+		ns += c.SerialNS
+		pj += c.EnergyPJ
+	}
+	if !nearNS(ns, m.LatencyNS) {
+		t.Fatalf("attributed %v ns, meter %v ns", ns, m.LatencyNS)
+	}
+	if !nearNS(pj, m.EnergyPJ) {
+		t.Fatalf("attributed %v pJ, meter %v pJ", pj, m.EnergyPJ)
+	}
+
+	// Every pipeline phase left commands in the stream.
+	h := p.Stream().Histogram()
+	for _, st := range []string{"input", "hashmap", "deBruijn", "traverse"} {
+		found := false
+		for stage, kinds := range h.PerStage {
+			if stage.String() == st && len(kinds) > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("stage %s missing from histogram %v", st, h.PerStage)
+		}
+	}
+}
+
+// TestParallelStage1BitIdentical verifies the sharded Hashmap procedure is
+// indistinguishable from the serial one: same contigs, same Euler walk, same
+// graph, same per-kind command totals, and bit-identical DRAM rows across
+// the whole hash-table region.
+func TestParallelStage1BitIdentical(t *testing.T) {
+	ps, rs := pimRun(t, false)
+	pp, rp := pimRun(t, true)
+
+	// Functional outputs.
+	if len(rs.Contigs) != len(rp.Contigs) {
+		t.Fatalf("contig counts differ: %d vs %d", len(rs.Contigs), len(rp.Contigs))
+	}
+	for i := range rs.Contigs {
+		if !rs.Contigs[i].Seq.Equal(rp.Contigs[i].Seq) {
+			t.Fatalf("contig %d differs", i)
+		}
+	}
+	if len(rs.EulerWalk) != len(rp.EulerWalk) {
+		t.Fatalf("Euler walks differ: %d vs %d nodes", len(rs.EulerWalk), len(rp.EulerWalk))
+	}
+	if rs.Graph.NumNodes() != rp.Graph.NumNodes() || rs.Graph.NumEdges() != rp.Graph.NumEdges() {
+		t.Fatal("graphs differ")
+	}
+
+	// Command accounting: per-kind totals are exactly equal (scheduling can
+	// reorder the parallel stream, never change it).
+	cs, cp := ps.Meter().Counts, pp.Meter().Counts
+	for kind, n := range cs {
+		if cp[kind] != n {
+			t.Fatalf("kind %v: serial %d, parallel %d", kind, n, cp[kind])
+		}
+	}
+	if ps.Stream().Len() != pp.Stream().Len() {
+		t.Fatalf("stream lengths differ: %d vs %d", ps.Stream().Len(), pp.Stream().Len())
+	}
+
+	// Raw DRAM state: every row of the hash-table region matches bit for
+	// bit (Peek bypasses the meter).
+	if rs.BankSubarrays != rp.BankSubarrays || rs.HashSubarrays != rp.HashSubarrays {
+		t.Fatal("layouts differ")
+	}
+	rows := ps.Geometry().RowsPerSubarray
+	for sub := rs.BankSubarrays; sub < rs.BankSubarrays+rs.HashSubarrays; sub++ {
+		a, b := ps.Subarray(sub), pp.Subarray(sub)
+		for r := 0; r < rows; r++ {
+			if !a.Peek(r).Equal(b.Peek(r)) {
+				t.Fatalf("sub-array %d row %d differs between serial and parallel", sub, r)
+			}
+		}
+	}
+}
+
+// TestParallelStage1Deterministic runs the parallel path twice and demands
+// identical functional output and accounting both times.
+func TestParallelStage1Deterministic(t *testing.T) {
+	p1, r1 := pimRun(t, true)
+	p2, r2 := pimRun(t, true)
+	if len(r1.Contigs) != len(r2.Contigs) {
+		t.Fatalf("contig counts differ across runs: %d vs %d", len(r1.Contigs), len(r2.Contigs))
+	}
+	for i := range r1.Contigs {
+		if !r1.Contigs[i].Seq.Equal(r2.Contigs[i].Seq) {
+			t.Fatalf("contig %d differs across runs", i)
+		}
+	}
+	c1, c2 := p1.Meter().Counts, p2.Meter().Counts
+	for kind, n := range c1 {
+		if c2[kind] != n {
+			t.Fatalf("kind %v: %d vs %d across runs", kind, n, c2[kind])
+		}
+	}
+}
+
+func nearNS(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d/scale < 1e-9
+}

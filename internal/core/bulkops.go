@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pimassembler/internal/bitvec"
+	"pimassembler/internal/exec"
 )
 
 // Bulk bit-wise operations: the §II-B workload. A bulk operand is split into
@@ -31,6 +32,7 @@ func (p *Platform) BulkXNOR(a, b *bitvec.Vector) *bitvec.Vector {
 	lay := p.layout
 	for chunk := 0; chunk*row < a.Len(); chunk++ {
 		s := p.Subarray(chunk % p.geom.ActiveSubarrays())
+		s.SetStage(exec.StageBulk)
 		ra, rb, rOut := lay.ReservedBase(), lay.ReservedBase()+1, lay.ReservedBase()+2
 		s.Write(ra, slice(a, chunk*row, row))
 		s.Write(rb, slice(b, chunk*row, row))
@@ -63,6 +65,7 @@ func (p *Platform) BulkAdd(a, b []*bitvec.Vector) []*bitvec.Vector {
 	}
 	for chunk := 0; chunk*row < n; chunk++ {
 		s := p.Subarray(chunk % p.geom.ActiveSubarrays())
+		s.SetStage(exec.StageBulk)
 		// The reserved region is too small for 3m+1 rows; bulk mode owns
 		// the whole sub-array, so stage operands in the data-row space.
 		aBase, bBase, dBase, carry := 0, m, 2*m, 3*m+2

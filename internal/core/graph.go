@@ -5,6 +5,7 @@ import (
 
 	"pimassembler/internal/bitvec"
 	"pimassembler/internal/debruijn"
+	"pimassembler/internal/exec"
 	"pimassembler/internal/kmer"
 	"pimassembler/internal/mapping"
 )
@@ -100,6 +101,7 @@ func (e *GraphEngine) load() {
 	}
 	for key, vs := range rows {
 		sub := e.platform.Subarray(e.nextSub)
+		sub.SetStage(exec.StageDeBruijn)
 		e.blockSub[key] = e.nextSub
 		e.nextSub++
 		for r, v := range vs {
@@ -108,6 +110,7 @@ func (e *GraphEngine) load() {
 	}
 	for key, vs := range trows {
 		sub := e.platform.Subarray(e.nextSub)
+		sub.SetStage(exec.StageDeBruijn)
 		e.transSub[key] = e.nextSub
 		e.nextSub++
 		for r, v := range vs {
@@ -154,6 +157,7 @@ func (e *GraphEngine) reduceBlocks(table map[[2]int]int, sink func(group, lane, 
 	}
 	for key, subIdx := range table {
 		sub := e.platform.Subarray(subIdx)
+		sub.SetStage(exec.StageTraverse)
 		sub.PopCountRows(src, e.degreeBase, scratch, e.degreeBits)
 		group := key[1]
 		if transposed {

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"pimassembler/internal/bitvec"
 	"pimassembler/internal/dram"
+	"pimassembler/internal/exec"
 	"pimassembler/internal/kmer"
 	"pimassembler/internal/mapping"
 	"pimassembler/internal/subarray"
@@ -46,7 +48,7 @@ type HashTable struct {
 	ops      OpProfile
 	place    mapping.HashPlacement
 	occupied map[int][]bool // sub-array (region-relative) -> slot occupancy
-	distinct int
+	distinct int64          // atomic: parallel stage-1 workers insert concurrently
 }
 
 // SetOpProfile switches the comparison implementation (default OpsNative).
@@ -96,7 +98,34 @@ func NewHashTableAt(p *Platform, k, base, nSubarrays int) *HashTable {
 func (t *HashTable) K() int { return t.k }
 
 // Len returns the number of distinct k-mers stored.
-func (t *HashTable) Len() int { return t.distinct }
+func (t *HashTable) Len() int { return int(atomic.LoadInt64(&t.distinct)) }
+
+// Subarrays returns the size of the table's sub-array region.
+func (t *HashTable) Subarrays() int { return t.place.Subarrays }
+
+// Home returns the region-relative sub-array index km is placed in — the
+// shard key parallel stage-1 drivers partition the k-mer stream by. All of
+// one k-mer's probes, inserts, and counter updates stay inside this
+// sub-array, so two k-mers with different homes never share state.
+func (t *HashTable) Home(km kmer.Kmer) int {
+	subIdx, _ := t.place.Place(km)
+	return subIdx
+}
+
+// GlobalSubarray converts a region-relative sub-array index (a Home value)
+// into the platform-global index, e.g. for bank grouping.
+func (t *HashTable) GlobalSubarray(subIdx int) int { return t.base + subIdx }
+
+// Materialize eagerly materialises every sub-array and occupancy bitmap of
+// the table's region. Parallel drivers must call it before spawning
+// workers: Platform.Subarray and the bitmap map are mutated on first touch
+// and are not safe for concurrent initialisation.
+func (t *HashTable) Materialize() {
+	for i := 0; i < t.place.Subarrays; i++ {
+		t.platform.Subarray(t.base + i)
+		t.bitmap(i)
+	}
+}
 
 // encodeRow packs a k-mer into a full row vector (2k bits of payload,
 // zero-padded) so whole-row XNOR comparison is exact.
@@ -129,6 +158,7 @@ func (t *HashTable) Add(km kmer.Kmer) (inserted bool, err error) {
 	lay := t.platform.layout
 	subIdx, home := t.place.Place(km)
 	s := t.platform.Subarray(t.base + subIdx)
+	s.SetStage(exec.StageHashmap)
 	bm := t.bitmap(subIdx)
 
 	tempQuery := lay.TempBase()      // temp row 0: the staged query
@@ -145,7 +175,7 @@ func (t *HashTable) Add(km kmer.Kmer) (inserted bool, err error) {
 			// row and increment the zeroed counter lane to 1.
 			s.RowClone(tempQuery, row)
 			bm[slot] = true
-			t.distinct++
+			atomic.AddInt64(&t.distinct, 1)
 			t.incrementCounter(s, slot, tempOneHot)
 			return true, nil
 		}
@@ -185,6 +215,7 @@ func (t *HashTable) Count(km kmer.Kmer) uint32 {
 	lay := t.platform.layout
 	subIdx, home := t.place.Place(km)
 	s := t.platform.Subarray(t.base + subIdx)
+	s.SetStage(exec.StageHashmap)
 	bm := t.bitmap(subIdx)
 
 	tempQuery := lay.TempBase()
@@ -219,7 +250,8 @@ func (t *HashTable) readCounter(s *subarray.Subarray, slot int) uint32 {
 
 // Entries reads every stored (k-mer, count) pair back through the memory
 // path, sorted by k-mer — used to hand the table to graph construction and
-// to cross-check against the software reference.
+// to cross-check against the software reference. The read-back traffic is
+// tagged StageDeBruijn: it is the dispatch feeding graph construction.
 func (t *HashTable) Entries() []kmer.Entry {
 	var out []kmer.Entry
 	subs := make([]int, 0, len(t.occupied))
@@ -229,6 +261,7 @@ func (t *HashTable) Entries() []kmer.Entry {
 	sort.Ints(subs)
 	for _, subIdx := range subs {
 		s := t.platform.Subarray(t.base + subIdx)
+		s.SetStage(exec.StageDeBruijn)
 		for slot, used := range t.occupied[subIdx] {
 			if !used {
 				continue
@@ -255,7 +288,7 @@ type Stats struct {
 func (t *HashTable) Stats() Stats {
 	m := t.platform.meter
 	return Stats{
-		Distinct:  t.distinct,
+		Distinct:  t.Len(),
 		Subarrays: len(t.occupied),
 		XNOROps:   m.Counts[dram.CmdAAP2],
 		AddAAPs:   m.Counts[dram.CmdAAP3],

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"pimassembler/internal/dram"
+	"pimassembler/internal/exec"
 	"pimassembler/internal/mapping"
 	"pimassembler/internal/sched"
 	"pimassembler/internal/subarray"
@@ -20,18 +21,22 @@ import (
 //
 // Sub-arrays are materialised lazily: a functional run touches only the
 // sub-arrays its data maps to, while the geometry may describe thousands.
-// The shared Meter accumulates the command stream of every sub-array; its
-// latency is the *serial* command-slot total — the analytical layer
-// (internal/perfmodel) divides by the exploitable parallelism.
+// Every command a sub-array executes is accounted twice from one emission
+// point: the shared Meter accumulates the *serial* command-slot totals, and
+// the exec.Stream records the typed per-sub-array command — the artifact
+// the controller scheduler (makespan) and the per-stage energy attribution
+// consume.
 type Platform struct {
 	geom   dram.Geometry
 	timing dram.Timing
 	energy dram.Energy
 	layout mapping.Layout
 
-	subs  map[int]*subarray.Subarray
-	meter *dram.Meter
-	fault subarray.FaultHook
+	subs   map[int]*subarray.Subarray
+	meter  *dram.Meter
+	stream *exec.Stream
+	stage  exec.Stage
+	fault  subarray.FaultHook
 }
 
 // NewPlatform builds a platform from explicit models.
@@ -56,6 +61,7 @@ func NewPlatform(g dram.Geometry, t dram.Timing, e dram.Energy) (*Platform, erro
 		layout: layout,
 		subs:   make(map[int]*subarray.Subarray),
 		meter:  dram.NewMeter(t, e),
+		stream: exec.NewStream(),
 	}, nil
 }
 
@@ -83,7 +89,27 @@ func (p *Platform) Layout() mapping.Layout { return p.layout }
 // Meter returns the shared command meter.
 func (p *Platform) Meter() *dram.Meter { return p.meter }
 
+// Stream returns the recorded per-sub-array command stream.
+func (p *Platform) Stream() *exec.Stream { return p.stream }
+
+// BeginStage sets the pipeline-stage tag stamped on subsequent commands of
+// every sub-array (materialised now or later). Callers that drive one
+// sub-array at a time (the hash table, the graph engine) may instead tag
+// the individual sub-array via subarray.SetStage.
+func (p *Platform) BeginStage(st exec.Stage) {
+	p.stage = st
+	for _, s := range p.subs {
+		s.SetStage(st)
+	}
+}
+
 // Subarray returns sub-array i, materialising it on first use.
+//
+// Materialisation mutates the platform's sub-array map and is NOT safe for
+// concurrent use — parallel drivers must materialise every sub-array they
+// will touch before spawning workers (the sub-array operations themselves
+// record through mutex-protected sinks and may run concurrently on
+// distinct sub-arrays).
 func (p *Platform) Subarray(i int) *subarray.Subarray {
 	if i < 0 || i >= p.geom.TotalSubarrays() {
 		panic(fmt.Sprintf("core: sub-array %d outside [0,%d)", i, p.geom.TotalSubarrays()))
@@ -92,6 +118,8 @@ func (p *Platform) Subarray(i int) *subarray.Subarray {
 	if !ok {
 		s = subarray.New(p.geom, p.meter)
 		s.SetFaultHook(p.fault)
+		s.AttachRecorder(p.stream, i)
+		s.SetStage(p.stage)
 		p.subs[i] = s
 	}
 	return s
@@ -110,10 +138,12 @@ func (p *Platform) SetFaultHook(h subarray.FaultHook) {
 // MaterializedSubarrays returns how many sub-arrays a run has touched.
 func (p *Platform) MaterializedSubarrays() int { return len(p.subs) }
 
-// Reset clears all sub-array state and the meter.
+// Reset clears all sub-array state, the meter, and the command stream.
 func (p *Platform) Reset() {
 	p.subs = make(map[int]*subarray.Subarray)
 	p.meter.Reset()
+	p.stream.Reset()
+	p.stage = exec.StageNone
 }
 
 // String summarises the platform.
@@ -121,17 +151,23 @@ func (p *Platform) String() string {
 	return fmt.Sprintf("core.Platform{%v, touched=%d}", p.geom, len(p.subs))
 }
 
-// ParallelEstimate converts the meter's accumulated command counts into a
-// scheduled parallel makespan: the counts are spread round-robin over the
-// sub-arrays this run touched and pushed through the controller's command
-// scheduler (shared bus + per-bank activation budget). It is an estimate —
-// the meter does not record per-command sub-array attribution — but it
-// bounds how much of the serial command time real hardware would overlap.
+// SchedConfig returns the controller's scheduling parameters for this
+// platform's geometry and timing.
+func (p *Platform) SchedConfig() sched.Config {
+	return sched.DefaultConfig(p.geom, p.timing)
+}
+
+// ParallelEstimate pushes the recorded command stream through the
+// controller's command scheduler (shared bus + per-bank activation budget):
+// every command carries the sub-array it actually executed in, so the
+// resulting makespan reflects the run's real data placement rather than a
+// synthetic spread of aggregate counts.
 func (p *Platform) ParallelEstimate() sched.Result {
-	n := len(p.subs)
-	if n == 0 {
-		n = 1
-	}
-	trace := sched.RoundRobinTrace(p.meter.Counts, n)
-	return sched.Schedule(trace, sched.DefaultConfig(p.geom, p.timing))
+	return sched.ScheduleStream(p.stream.Commands(), p.SchedConfig())
+}
+
+// StageEstimates schedules each pipeline stage's command subsequence
+// independently — the per-stage makespans the evaluation reports.
+func (p *Platform) StageEstimates() map[exec.Stage]sched.Result {
+	return sched.ScheduleStages(p.stream.Commands(), p.SchedConfig())
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pimassembler/internal/bitvec"
+	"pimassembler/internal/exec"
 	"pimassembler/internal/genome"
 )
 
@@ -71,6 +72,7 @@ func (b *SequenceBank) Store(read *genome.Sequence) (int, error) {
 		return 0, fmt.Errorf("core: sequence bank full (%d sub-arrays)", b.subarrays)
 	}
 	sub := b.platform.Subarray(b.firstSubarray + b.curSub)
+	sub.SetStage(exec.StageInput)
 	for r := 0; r < rows; r++ {
 		row := bitvec.New(b.platform.geom.ColsPerSubarray)
 		for i := 0; i < perRow; i++ {
@@ -100,12 +102,14 @@ func (b *SequenceBank) StoreAll(reads []*genome.Sequence) error {
 
 // Fetch reads a stored read back through the memory path (metered), exactly
 // as the controller does when parsing short reads to the hash sub-arrays.
+// The read-out traffic is tagged StageHashmap: it is stage 1's dispatch.
 func (b *SequenceBank) Fetch(handle int) *genome.Sequence {
 	if handle < 0 || handle >= len(b.reads) {
 		panic(fmt.Sprintf("core: read handle %d outside [0,%d)", handle, len(b.reads)))
 	}
 	br := b.reads[handle]
 	sub := b.platform.Subarray(b.firstSubarray + br.sub)
+	sub.SetStage(exec.StageHashmap)
 	perRow := b.BasesPerRow()
 	out := genome.NewSequence(br.length)
 	for r := 0; r < br.rows; r++ {
@@ -121,9 +125,14 @@ func (b *SequenceBank) Fetch(handle int) *genome.Sequence {
 	return out
 }
 
-// Each fetches every read in storage order.
-func (b *SequenceBank) Each(fn func(handle int, read *genome.Sequence)) {
+// Each fetches every read in storage order. The callback returns whether to
+// continue: returning false stops the stream immediately, so a consumer
+// that hits an error does not pay the memory traffic of scanning the rest
+// of the bank.
+func (b *SequenceBank) Each(fn func(handle int, read *genome.Sequence) bool) {
 	for h := range b.reads {
-		fn(h, b.Fetch(h))
+		if !fn(h, b.Fetch(h)) {
+			return
+		}
 	}
 }

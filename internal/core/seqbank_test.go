@@ -99,14 +99,25 @@ func TestSequenceBankEach(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 0
-	bank.Each(func(h int, r *genome.Sequence) {
+	bank.Each(func(h int, r *genome.Sequence) bool {
 		if !r.Equal(reads[h]) {
 			t.Fatalf("read %d mismatch", h)
 		}
 		n++
+		return true
 	})
 	if n != 10 {
 		t.Fatalf("visited %d reads", n)
+	}
+
+	// Returning false stops the stream immediately.
+	stopped := 0
+	bank.Each(func(h int, r *genome.Sequence) bool {
+		stopped++
+		return stopped < 3
+	})
+	if stopped != 3 {
+		t.Fatalf("early stop visited %d reads, want 3", stopped)
 	}
 }
 

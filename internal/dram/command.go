@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // CommandKind enumerates the DRAM and PIM command primitives PIM-Assembler's
 // controller issues. The three AAP variants correspond to the paper's §II-B
@@ -47,8 +50,9 @@ func (k CommandKind) String() string {
 	return commandNames[k]
 }
 
-// sourceRows returns how many rows the first ACTIVATE of an AAP opens.
-func (k CommandKind) sourceRows() int {
+// SourceRows returns how many rows the first ACTIVATE of the command opens:
+// 1 for normal commands and copies, 2 for two-row AAPs, 3 for TRA.
+func (k CommandKind) SourceRows() int {
 	switch k {
 	case CmdAAPCopy:
 		return 1
@@ -64,13 +68,60 @@ func (k CommandKind) sourceRows() int {
 // computes reports whether the command engages the add-on SA logic.
 func (k CommandKind) computes() bool { return k == CmdAAP2 || k == CmdAAP3 }
 
+// Duration returns one command's critical-path latency in nanoseconds under
+// a timing model. It is the single pricing function shared by the Meter,
+// the controller scheduler, and the command-stream attribution.
+func Duration(kind CommandKind, t Timing) float64 {
+	switch kind {
+	case CmdActivate:
+		return t.TRAS
+	case CmdPrecharge:
+		return t.TRP
+	case CmdRead:
+		return t.ReadLatency()
+	case CmdWrite:
+		return t.WriteLatency()
+	case CmdAAPCopy, CmdAAP2, CmdAAP3:
+		return t.AAP()
+	case CmdDPU:
+		return t.TCK
+	default:
+		panic(fmt.Sprintf("dram: unknown command kind %v", kind))
+	}
+}
+
+// EnergyOf returns one command's dynamic energy in picojoules for a single
+// participating sub-array under an energy model. Broadcast commands multiply
+// by the sub-array count (see Meter.Record).
+func EnergyOf(kind CommandKind, e Energy) float64 {
+	switch kind {
+	case CmdActivate:
+		return e.ActivationEnergy(1)
+	case CmdPrecharge:
+		return e.EPrecharge
+	case CmdRead, CmdWrite:
+		return e.ActivationEnergy(1) + e.ERowBuffer
+	case CmdAAPCopy, CmdAAP2, CmdAAP3:
+		return e.AAPEnergy(kind.SourceRows(), 1, kind.computes())
+	case CmdDPU:
+		return e.EDPUOp
+	default:
+		panic(fmt.Sprintf("dram: unknown command kind %v", kind))
+	}
+}
+
 // Meter accumulates latency and energy for a stream of commands issued to a
 // set of sub-arrays. One Meter typically tracks one controller's activity;
 // parallel sub-arrays executing the same broadcast command account the
 // energy of every participating sub-array but the latency only once.
+//
+// Record and Merge are safe for concurrent use (parallel stage-1 workers
+// share the platform meter); read the exported fields only after the
+// recording goroutines have joined.
 type Meter struct {
 	timing Timing
 	energy Energy
+	mu     sync.Mutex
 
 	// Cycles counts issued command slots per kind.
 	Counts map[CommandKind]int64
@@ -102,30 +153,13 @@ func (m *Meter) Record(kind CommandKind, parallelSubarrays int) {
 	if parallelSubarrays <= 0 {
 		parallelSubarrays = 1
 	}
+	dur := Duration(kind, m.timing)
+	pj := EnergyOf(kind, m.energy)
+	m.mu.Lock()
 	m.Counts[kind]++
-	n := float64(parallelSubarrays)
-	switch kind {
-	case CmdActivate:
-		m.LatencyNS += m.timing.TRAS
-		m.EnergyPJ += n * m.energy.ActivationEnergy(1)
-	case CmdPrecharge:
-		m.LatencyNS += m.timing.TRP
-		m.EnergyPJ += n * m.energy.EPrecharge
-	case CmdRead:
-		m.LatencyNS += m.timing.ReadLatency()
-		m.EnergyPJ += n * (m.energy.ActivationEnergy(1) + m.energy.ERowBuffer)
-	case CmdWrite:
-		m.LatencyNS += m.timing.WriteLatency()
-		m.EnergyPJ += n * (m.energy.ActivationEnergy(1) + m.energy.ERowBuffer)
-	case CmdAAPCopy, CmdAAP2, CmdAAP3:
-		m.LatencyNS += m.timing.AAP()
-		m.EnergyPJ += n * m.energy.AAPEnergy(kind.sourceRows(), 1, kind.computes())
-	case CmdDPU:
-		m.LatencyNS += m.timing.TCK
-		m.EnergyPJ += n * m.energy.EDPUOp
-	default:
-		panic(fmt.Sprintf("dram: unknown command kind %v", kind))
-	}
+	m.LatencyNS += dur
+	m.EnergyPJ += float64(parallelSubarrays) * pj
+	m.mu.Unlock()
 }
 
 // TotalCommands returns the total number of recorded command slots.
@@ -156,6 +190,8 @@ func (m *Meter) Reset() {
 // Merge adds the counts, latency and energy of other into m. Use it to fold
 // per-worker meters from parallel functional simulation into one total.
 func (m *Meter) Merge(other *Meter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for k, v := range other.Counts {
 		m.Counts[k] += v
 	}

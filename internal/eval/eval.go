@@ -282,7 +282,7 @@ func RenderAll(w io.Writer) {
 	sections := []func(io.Writer){
 		RenderFig2b, RenderFig3a, RenderFig3b, RenderTableI, RenderArea,
 		RenderFig9, RenderFig10, RenderFig11, RenderKSweep,
-		RenderSensitivity, RenderFaultStudy,
+		RenderSensitivity, RenderFaultStudy, RenderStream,
 	}
 	for i, f := range sections {
 		if i > 0 {

@@ -1,0 +1,289 @@
+// Package exec is the per-sub-array command-stream layer between the
+// functional simulator and the timing/energy models. Every DRAM/PIM command
+// a functional sub-array executes is recorded here as a typed record —
+// which sub-array, which command kind, how many rows the first ACTIVATE
+// opens, and which pipeline stage issued it — so the one recorded stream is
+// the single source of truth that the serial Meter, the controller
+// scheduler (internal/sched), and the per-stage energy attribution all
+// consume. The serial Meter totals and the stream totals are maintained in
+// lock step by internal/subarray and cross-checked by tests; the scheduler
+// derives the parallel makespan from the stream's real sub-array
+// attribution instead of a synthetic round-robin spread.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pimassembler/internal/dram"
+)
+
+// Stage tags a command with the assembly-pipeline phase that issued it,
+// matching the paper's three procedures plus the bookkeeping phases around
+// them.
+type Stage uint8
+
+const (
+	// StageNone marks commands issued outside a tagged pipeline phase.
+	StageNone Stage = iota
+	// StageInput is sequence-bank loading (writing reads into DRAM rows).
+	StageInput
+	// StageHashmap is stage 1: read dispatch from the bank plus the k-mer
+	// hash-table probes, inserts, and counter increments (Fig. 5b).
+	StageHashmap
+	// StageDeBruijn is stage 2a: reading the table back out and writing the
+	// adjacency blocks of the graph (Fig. 8 mapping).
+	StageDeBruijn
+	// StageTraverse is stage 2b: the in-memory degree reductions and the
+	// traversal's reads (Fig. 8 reduce/ripple flow).
+	StageTraverse
+	// StageBulk is the §II-B raw bulk bit-wise workload.
+	StageBulk
+
+	numStages
+)
+
+var stageNames = [...]string{
+	StageNone:     "none",
+	StageInput:    "input",
+	StageHashmap:  "hashmap",
+	StageDeBruijn: "deBruijn",
+	StageTraverse: "traverse",
+	StageBulk:     "bulk",
+}
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// Stages returns every stage in rendering order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Command is one typed per-sub-array command record.
+type Command struct {
+	// Subarray is the platform-global sub-array index the command executed
+	// in.
+	Subarray int
+	// Kind is the DRAM/PIM command primitive.
+	Kind dram.CommandKind
+	// Stage is the pipeline phase that issued the command.
+	Stage Stage
+	// Rows is how many rows the command's first ACTIVATE opens (1 for
+	// normal commands, 2 for two-row AAPs, 3 for TRA).
+	Rows int
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	return fmt.Sprintf("sub%d %v [%v]", c.Subarray, c.Kind, c.Stage)
+}
+
+// Recorder receives command records. Implementations must be safe for
+// concurrent use: parallel stage-1 workers record from one goroutine per
+// active sub-array group.
+type Recorder interface {
+	Record(c Command)
+}
+
+// Stream is the default Recorder: an append-only, mutex-protected command
+// log with aggregation views. Detach a producer by handing it a nil
+// Recorder interface, not a nil *Stream.
+type Stream struct {
+	mu   sync.Mutex
+	cmds []Command
+}
+
+// NewStream returns an empty stream.
+func NewStream() *Stream { return &Stream{} }
+
+// Record appends one command.
+func (s *Stream) Record(c Command) {
+	s.mu.Lock()
+	s.cmds = append(s.cmds, c)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded commands.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cmds)
+}
+
+// Commands returns a copy of the recorded stream in issue order. In
+// parallel runs the inter-sub-array interleaving is scheduling-dependent,
+// but each sub-array's subsequence is deterministic.
+func (s *Stream) Commands() []Command {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Command, len(s.cmds))
+	copy(out, s.cmds)
+	return out
+}
+
+// Reset clears the stream.
+func (s *Stream) Reset() {
+	s.mu.Lock()
+	s.cmds = nil
+	s.mu.Unlock()
+}
+
+// Totals returns the per-kind command counts — the view the serial
+// dram.Meter maintains independently; tests assert the two never drift.
+func (s *Stream) Totals() map[dram.CommandKind]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[dram.CommandKind]int64)
+	for _, c := range s.cmds {
+		out[c.Kind]++
+	}
+	return out
+}
+
+// Subarrays returns how many distinct sub-arrays the stream touched.
+func (s *Stream) Subarrays() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[int]struct{})
+	for _, c := range s.cmds {
+		seen[c.Subarray] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Histogram is the per-stage × per-kind command breakdown of a stream.
+type Histogram struct {
+	// PerStage maps stage -> kind -> count.
+	PerStage map[Stage]map[dram.CommandKind]int64
+	// Totals is the per-kind count over all stages.
+	Totals map[dram.CommandKind]int64
+	// Commands is the total record count.
+	Commands int
+}
+
+// Histogram aggregates the stream.
+func (s *Stream) Histogram() Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Histogram{
+		PerStage: make(map[Stage]map[dram.CommandKind]int64),
+		Totals:   make(map[dram.CommandKind]int64),
+		Commands: len(s.cmds),
+	}
+	for _, c := range s.cmds {
+		m := h.PerStage[c.Stage]
+		if m == nil {
+			m = make(map[dram.CommandKind]int64)
+			h.PerStage[c.Stage] = m
+		}
+		m[c.Kind]++
+		h.Totals[c.Kind]++
+	}
+	return h
+}
+
+// histogramKinds is the rendering order of command kinds.
+var histogramKinds = []dram.CommandKind{
+	dram.CmdAAPCopy, dram.CmdAAP2, dram.CmdAAP3,
+	dram.CmdRead, dram.CmdWrite, dram.CmdDPU,
+	dram.CmdActivate, dram.CmdPrecharge,
+}
+
+// String renders the histogram as a stage × kind table.
+func (h Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s", "stage")
+	for _, k := range histogramKinds {
+		fmt.Fprintf(&sb, " %10s", k)
+	}
+	fmt.Fprintf(&sb, " %10s\n", "total")
+	for _, st := range Stages() {
+		m := h.PerStage[st]
+		if len(m) == 0 {
+			continue
+		}
+		var total int64
+		fmt.Fprintf(&sb, "%-10s", st)
+		for _, k := range histogramKinds {
+			fmt.Fprintf(&sb, " %10d", m[k])
+			total += m[k]
+		}
+		fmt.Fprintf(&sb, " %10d\n", total)
+	}
+	fmt.Fprintf(&sb, "%-10s", "all")
+	var total int64
+	for _, k := range histogramKinds {
+		fmt.Fprintf(&sb, " %10d", h.Totals[k])
+		total += h.Totals[k]
+	}
+	fmt.Fprintf(&sb, " %10d\n", total)
+	return sb.String()
+}
+
+// StageCost is one stage's share of the stream's serial time and energy.
+type StageCost struct {
+	Stage     Stage
+	Commands  int64
+	SerialNS  float64
+	EnergyPJ  float64
+	Subarrays int
+}
+
+// String implements fmt.Stringer.
+func (c StageCost) String() string {
+	return fmt.Sprintf("%-9s %9d cmds  %10.1f µs serial  %10.2f µJ  %4d sub-arrays",
+		c.Stage, c.Commands, c.SerialNS/1e3, c.EnergyPJ/1e6, c.Subarrays)
+}
+
+// Attribute prices every stage's commands with the given timing and energy
+// models, returning one StageCost per stage present in the stream, in stage
+// order. The per-kind pricing is dram.Duration/dram.EnergyOf — the same
+// functions the Meter accrues with — so summing the stages reproduces the
+// Meter's serial totals exactly.
+func (s *Stream) Attribute(t dram.Timing, e dram.Energy) []StageCost {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	costs := make(map[Stage]*StageCost)
+	subs := make(map[Stage]map[int]struct{})
+	for _, c := range s.cmds {
+		sc := costs[c.Stage]
+		if sc == nil {
+			sc = &StageCost{Stage: c.Stage}
+			costs[c.Stage] = sc
+			subs[c.Stage] = make(map[int]struct{})
+		}
+		sc.Commands++
+		sc.SerialNS += dram.Duration(c.Kind, t)
+		sc.EnergyPJ += dram.EnergyOf(c.Kind, e)
+		subs[c.Stage][c.Subarray] = struct{}{}
+	}
+	out := make([]StageCost, 0, len(costs))
+	for st, sc := range costs {
+		sc.Subarrays = len(subs[st])
+		out = append(out, *sc)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Stage < out[b].Stage })
+	return out
+}
+
+// Tee fans one record out to several recorders.
+type Tee []Recorder
+
+// Record implements Recorder.
+func (t Tee) Record(c Command) {
+	for _, r := range t {
+		r.Record(c)
+	}
+}

@@ -1,0 +1,140 @@
+package exec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pimassembler/internal/dram"
+)
+
+func TestStreamViews(t *testing.T) {
+	s := NewStream()
+	s.Record(Command{Subarray: 0, Kind: dram.CmdAAP2, Stage: StageHashmap, Rows: 2})
+	s.Record(Command{Subarray: 0, Kind: dram.CmdAAP2, Stage: StageHashmap, Rows: 2})
+	s.Record(Command{Subarray: 3, Kind: dram.CmdWrite, Stage: StageInput, Rows: 1})
+	s.Record(Command{Subarray: 7, Kind: dram.CmdDPU, Stage: StageTraverse, Rows: 1})
+
+	if s.Len() != 4 {
+		t.Fatalf("len %d, want 4", s.Len())
+	}
+	if s.Subarrays() != 3 {
+		t.Fatalf("subarrays %d, want 3", s.Subarrays())
+	}
+	tot := s.Totals()
+	if tot[dram.CmdAAP2] != 2 || tot[dram.CmdWrite] != 1 || tot[dram.CmdDPU] != 1 {
+		t.Fatalf("totals %v", tot)
+	}
+	h := s.Histogram()
+	if h.Commands != 4 {
+		t.Fatalf("histogram commands %d", h.Commands)
+	}
+	if h.PerStage[StageHashmap][dram.CmdAAP2] != 2 {
+		t.Fatalf("per-stage %v", h.PerStage)
+	}
+	if !strings.Contains(h.String(), "hashmap") {
+		t.Fatalf("rendered histogram missing stage row:\n%s", h.String())
+	}
+	cmds := s.Commands()
+	if len(cmds) != 4 || cmds[0].Kind != dram.CmdAAP2 || cmds[3].Subarray != 7 {
+		t.Fatalf("commands copy wrong: %v", cmds)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("reset left %d commands", s.Len())
+	}
+}
+
+func TestAttributeMatchesMeter(t *testing.T) {
+	tm := dram.DefaultTiming()
+	en := dram.DefaultEnergy()
+	m := dram.NewMeter(tm, en)
+	s := NewStream()
+	kinds := []dram.CommandKind{
+		dram.CmdAAPCopy, dram.CmdAAP2, dram.CmdAAP3, dram.CmdRead,
+		dram.CmdWrite, dram.CmdDPU, dram.CmdActivate, dram.CmdPrecharge,
+	}
+	stages := []Stage{StageInput, StageHashmap, StageDeBruijn, StageTraverse}
+	for i := 0; i < 200; i++ {
+		k := kinds[i%len(kinds)]
+		m.Record(k, 1)
+		s.Record(Command{Subarray: i % 5, Kind: k, Stage: stages[i%len(stages)], Rows: k.SourceRows()})
+	}
+	costs := s.Attribute(tm, en)
+	if len(costs) != len(stages) {
+		t.Fatalf("got %d stage costs, want %d", len(costs), len(stages))
+	}
+	var ns, pj float64
+	var n int64
+	for _, c := range costs {
+		ns += c.SerialNS
+		pj += c.EnergyPJ
+		n += c.Commands
+	}
+	if n != 200 {
+		t.Fatalf("attributed %d commands, want 200", n)
+	}
+	if !near(ns, m.LatencyNS) {
+		t.Fatalf("attributed serial %v ns, meter %v ns", ns, m.LatencyNS)
+	}
+	if !near(pj, m.EnergyPJ) {
+		t.Fatalf("attributed energy %v pJ, meter %v pJ", pj, m.EnergyPJ)
+	}
+}
+
+func TestStreamConcurrentRecord(t *testing.T) {
+	s := NewStream()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Record(Command{Subarray: w, Kind: dram.CmdAAP2, Stage: StageHashmap, Rows: 2})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("len %d, want 800", s.Len())
+	}
+	if s.Subarrays() != 8 {
+		t.Fatalf("subarrays %d, want 8", s.Subarrays())
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := NewStream(), NewStream()
+	tee := Tee{a, b}
+	tee.Record(Command{Subarray: 1, Kind: dram.CmdRead, Stage: StageNone, Rows: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("tee fan-out wrong: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	if StageHashmap.String() != "hashmap" || StageDeBruijn.String() != "deBruijn" {
+		t.Fatalf("stage names wrong: %v %v", StageHashmap, StageDeBruijn)
+	}
+	if len(Stages()) != int(numStages) {
+		t.Fatalf("Stages() returned %d entries", len(Stages()))
+	}
+	if Stage(200).String() == "" {
+		t.Fatal("out-of-range stage should still render")
+	}
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d/scale < 1e-9
+}

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 
+	"pimassembler/internal/exec"
 	"pimassembler/internal/subarray"
 )
 
@@ -24,6 +25,18 @@ type Executor struct {
 func NewExecutor(s *subarray.Subarray) *Executor {
 	return &Executor{sub: s}
 }
+
+// AttachRecorder routes the executor's command stream into a recorder: every
+// instruction the executor steps is emitted as typed per-sub-array command
+// records under the given platform-global sub-array id (the emission point
+// is the sub-array primitive each instruction drives, so staged convenience
+// sequences attribute each constituent AAP individually).
+func (e *Executor) AttachRecorder(r exec.Recorder, subarrayID int) {
+	e.sub.AttachRecorder(r, subarrayID)
+}
+
+// SetStage tags subsequently executed instructions with a pipeline stage.
+func (e *Executor) SetStage(st exec.Stage) { e.sub.SetStage(st) }
 
 // Run executes the whole program, returning the first error. Instruction
 // effects up to the error remain applied (device semantics).

@@ -2,10 +2,13 @@
 // stream of per-sub-array DRAM commands onto the shared command bus and the
 // banks' concurrency limits, computing the parallel makespan that the
 // simple serial Meter total over-states. This is the timing glue between
-// the functional simulator (which counts commands) and the analytical
-// models (which assume a level of parallelism): the scheduler derives that
-// parallelism from first principles — issue bandwidth, per-sub-array
-// occupancy, and the per-bank activation budget.
+// the functional simulator and the analytical models (which assume a level
+// of parallelism): the scheduler derives that parallelism from first
+// principles — issue bandwidth, per-sub-array occupancy, and the per-bank
+// activation budget. Its input is the recorded command stream of
+// internal/exec (ScheduleStream), so the functional run's real sub-array
+// attribution — not a synthetic spread of aggregate counts — determines the
+// overlap.
 package sched
 
 import (
@@ -14,6 +17,7 @@ import (
 	"sort"
 
 	"pimassembler/internal/dram"
+	"pimassembler/internal/exec"
 )
 
 // Command is one scheduled unit: a DRAM command bound for a sub-array.
@@ -63,22 +67,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// duration returns a command's occupancy of its sub-array.
+// duration returns a command's occupancy of its sub-array — the same
+// per-kind pricing the serial Meter accrues with (dram.Duration), so
+// SerialNS reproduces the Meter's latency total for the same stream.
 func (c Config) duration(kind dram.CommandKind) float64 {
-	switch kind {
-	case dram.CmdActivate:
-		return c.Timing.TRAS
-	case dram.CmdPrecharge:
-		return c.Timing.TRP
-	case dram.CmdRead, dram.CmdWrite:
-		return c.Timing.ReadLatency()
-	case dram.CmdAAPCopy, dram.CmdAAP2, dram.CmdAAP3:
-		return c.Timing.AAP()
-	case dram.CmdDPU:
-		return c.Timing.TCK
-	default:
-		panic(fmt.Sprintf("sched: unknown command kind %v", kind))
-	}
+	return dram.Duration(kind, c.Timing)
 }
 
 // Result summarises one schedule.
@@ -214,26 +207,31 @@ func max(a, b int) int {
 	return b
 }
 
-// RoundRobinTrace expands aggregate command counts into a trace that
-// spreads the work evenly over nSubarrays — the helper that turns a Meter's
-// counts into a schedulable stream when per-command attribution was not
-// recorded. Commands interleave by kind in a fixed order for determinism.
-func RoundRobinTrace(counts map[dram.CommandKind]int64, nSubarrays int) []Command {
-	if nSubarrays <= 0 {
-		panic(fmt.Sprintf("sched: non-positive sub-array count %d", nSubarrays))
+// ScheduleStream schedules a recorded command stream directly: each typed
+// record keeps the sub-array the functional simulator actually executed it
+// in, so the computed overlap reflects the run's real data placement. This
+// replaces the old aggregate-count round-robin estimate — the stream is the
+// single source of truth shared with the Meter and the energy attribution.
+func ScheduleStream(cmds []exec.Command, cfg Config) Result {
+	sc := make([]Command, len(cmds))
+	for i, c := range cmds {
+		sc[i] = Command{Subarray: c.Subarray, Kind: c.Kind}
 	}
-	kinds := []dram.CommandKind{
-		dram.CmdAAPCopy, dram.CmdAAP2, dram.CmdAAP3,
-		dram.CmdRead, dram.CmdWrite, dram.CmdDPU,
-		dram.CmdActivate, dram.CmdPrecharge,
+	return Schedule(sc, cfg)
+}
+
+// ScheduleStages schedules each pipeline stage's subsequence independently,
+// returning one Result per stage present in the stream. Stages execute
+// back-to-back in the pipeline, so the whole-run makespan is bounded below
+// by the sum of the per-stage makespans.
+func ScheduleStages(cmds []exec.Command, cfg Config) map[exec.Stage]Result {
+	byStage := make(map[exec.Stage][]Command)
+	for _, c := range cmds {
+		byStage[c.Stage] = append(byStage[c.Stage], Command{Subarray: c.Subarray, Kind: c.Kind})
 	}
-	var out []Command
-	i := 0
-	for _, k := range kinds {
-		for n := int64(0); n < counts[k]; n++ {
-			out = append(out, Command{Subarray: i % nSubarrays, Kind: k})
-			i++
-		}
+	out := make(map[exec.Stage]Result, len(byStage))
+	for st, sc := range byStage {
+		out[st] = Schedule(sc, cfg)
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"pimassembler/internal/dram"
+	"pimassembler/internal/exec"
 	"pimassembler/internal/stats"
 )
 
@@ -128,37 +129,58 @@ func TestMakespanBounds(t *testing.T) {
 	}
 }
 
-func TestRoundRobinTrace(t *testing.T) {
-	counts := map[dram.CommandKind]int64{
-		dram.CmdAAP2:    10,
-		dram.CmdAAPCopy: 20,
+// stream builds a recorded command stream of n commands of one kind spread
+// round-robin over the given sub-arrays.
+func stream(n int, kind dram.CommandKind, spread int, stage exec.Stage) []exec.Command {
+	out := make([]exec.Command, n)
+	for i := range out {
+		out[i] = exec.Command{Subarray: i % spread, Kind: kind, Stage: stage}
 	}
-	trace := RoundRobinTrace(counts, 4)
-	if len(trace) != 30 {
-		t.Fatalf("trace length %d, want 30", len(trace))
+	return out
+}
+
+func TestScheduleStreamMatchesSchedule(t *testing.T) {
+	cmds := stream(64, dram.CmdAAP2, 8, exec.StageHashmap)
+	viaStream := ScheduleStream(cmds, cfg())
+	plain := make([]Command, len(cmds))
+	for i, c := range cmds {
+		plain[i] = Command{Subarray: c.Subarray, Kind: c.Kind}
 	}
-	perSub := map[int]int{}
-	for _, c := range trace {
-		perSub[c.Subarray]++
-	}
-	for sub, n := range perSub {
-		if n < 7 || n > 8 {
-			t.Fatalf("sub-array %d got %d commands; uneven spread", sub, n)
-		}
+	if got, want := viaStream, Schedule(plain, cfg()); got != want {
+		t.Fatalf("ScheduleStream %+v differs from Schedule %+v", got, want)
 	}
 }
 
-func TestRoundRobinTraceScheduleSpeedsUp(t *testing.T) {
-	counts := map[dram.CommandKind]int64{dram.CmdAAP2: 1024}
+func TestScheduleStreamSpreadSpeedsUp(t *testing.T) {
 	g := dram.Default()
 	tm := dram.DefaultTiming()
-	one := Schedule(RoundRobinTrace(counts, 1), DefaultConfig(g, tm))
-	many := Schedule(RoundRobinTrace(counts, 256), DefaultConfig(g, tm))
+	one := ScheduleStream(stream(1024, dram.CmdAAP2, 1, exec.StageNone), DefaultConfig(g, tm))
+	many := ScheduleStream(stream(1024, dram.CmdAAP2, 256, exec.StageNone), DefaultConfig(g, tm))
 	if many.MakespanNS >= one.MakespanNS {
 		t.Fatalf("parallel spread no faster: %v vs %v", many.MakespanNS, one.MakespanNS)
 	}
 	if many.Speedup < 8 {
 		t.Fatalf("speedup %v too low over 256 sub-arrays", many.Speedup)
+	}
+	if one.SerialNS != many.SerialNS {
+		t.Fatalf("serial totals differ with spread: %v vs %v", one.SerialNS, many.SerialNS)
+	}
+}
+
+func TestScheduleStages(t *testing.T) {
+	cmds := append(stream(100, dram.CmdAAP2, 4, exec.StageHashmap),
+		stream(50, dram.CmdAAPCopy, 4, exec.StageDeBruijn)...)
+	byStage := ScheduleStages(cmds, cfg())
+	if len(byStage) != 2 {
+		t.Fatalf("got %d stages, want 2", len(byStage))
+	}
+	if byStage[exec.StageHashmap].Commands != 100 || byStage[exec.StageDeBruijn].Commands != 50 {
+		t.Fatalf("per-stage command counts wrong: %+v", byStage)
+	}
+	whole := ScheduleStream(cmds, cfg())
+	sum := byStage[exec.StageHashmap].SerialNS + byStage[exec.StageDeBruijn].SerialNS
+	if diff := whole.SerialNS - sum; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("stage serial totals %v don't add up to %v", sum, whole.SerialNS)
 	}
 }
 

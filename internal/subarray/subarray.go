@@ -16,6 +16,7 @@ import (
 
 	"pimassembler/internal/bitvec"
 	"pimassembler/internal/dram"
+	"pimassembler/internal/exec"
 )
 
 // FaultHook observes (and may corrupt) the result row of an in-memory
@@ -34,6 +35,41 @@ type Subarray struct {
 	latch *bitvec.Vector   // per-column SA D-latch (carry storage)
 	meter *dram.Meter
 	fault FaultHook
+
+	// rec receives typed per-command records (nil disables recording); id
+	// is the platform-global sub-array index stamped on every record and
+	// stage the pipeline phase tag the current caller set.
+	rec   exec.Recorder
+	id    int
+	stage exec.Stage
+}
+
+// AttachRecorder binds the sub-array to a command-stream recorder under the
+// given platform-global sub-array id. A nil recorder detaches.
+func (s *Subarray) AttachRecorder(r exec.Recorder, id int) {
+	s.rec = r
+	s.id = id
+}
+
+// SetStage tags subsequent commands with the pipeline stage issuing them.
+func (s *Subarray) SetStage(st exec.Stage) { s.stage = st }
+
+// Stage returns the current stage tag.
+func (s *Subarray) Stage() exec.Stage { return s.stage }
+
+// record accounts one command on the serial meter and, when a recorder is
+// attached, emits the typed per-sub-array record. Both views are fed from
+// this single point so they cannot drift.
+func (s *Subarray) record(kind dram.CommandKind) {
+	s.meter.Record(kind, 1)
+	if s.rec != nil {
+		s.rec.Record(exec.Command{
+			Subarray: s.id,
+			Kind:     kind,
+			Stage:    s.stage,
+			Rows:     kind.SourceRows(),
+		})
+	}
 }
 
 // SetFaultHook installs (or clears, with nil) the fault-injection hook.
@@ -110,13 +146,13 @@ func (s *Subarray) Meter() *dram.Meter { return s.meter }
 func (s *Subarray) Write(r int, data *bitvec.Vector) {
 	s.checkRow(r)
 	s.cells[r].CopyFrom(data)
-	s.meter.Record(dram.CmdWrite, 1)
+	s.record(dram.CmdWrite)
 }
 
 // Read returns a copy of row r through the normal memory path.
 func (s *Subarray) Read(r int) *bitvec.Vector {
 	s.checkRow(r)
-	s.meter.Record(dram.CmdRead, 1)
+	s.record(dram.CmdRead)
 	return s.cells[r].Clone()
 }
 
@@ -137,7 +173,7 @@ func (s *Subarray) RowClone(src, dst int) {
 	s.checkRow(src)
 	s.checkRow(dst)
 	s.cells[dst].CopyFrom(s.cells[src])
-	s.meter.Record(dram.CmdAAPCopy, 1)
+	s.record(dram.CmdAAPCopy)
 }
 
 // TwoRowXNOR executes the paper's single-cycle type-2 AAP: compute rows xa
@@ -156,7 +192,7 @@ func (s *Subarray) TwoRowXNOR(xa, xb, dst int) {
 	s.cells[xa].CopyFrom(res)
 	s.cells[xb].CopyFrom(res)
 	s.cells[dst].CopyFrom(res)
-	s.meter.Record(dram.CmdAAP2, 1)
+	s.record(dram.CmdAAP2)
 }
 
 // TwoRowXOR is TwoRowXNOR with the MUX selectors swapped so dst receives
@@ -175,7 +211,7 @@ func (s *Subarray) TwoRowXOR(xa, xb, dst int) {
 	s.cells[xa].CopyFrom(xnor)
 	s.cells[xb].CopyFrom(xnor)
 	s.cells[dst].CopyFrom(res)
-	s.meter.Record(dram.CmdAAP2, 1)
+	s.record(dram.CmdAAP2)
 }
 
 // TRACarry executes the type-3 AAP (Ambit triple-row activation): rows xa,
@@ -195,7 +231,7 @@ func (s *Subarray) TRACarry(xa, xb, xc, dst int) {
 	s.cells[xc].CopyFrom(res)
 	s.cells[dst].CopyFrom(res)
 	s.latch.CopyFrom(res)
-	s.meter.Record(dram.CmdAAP3, 1)
+	s.record(dram.CmdAAP3)
 }
 
 // SumWithLatch executes the Sum cycle of the paper's two-cycle addition:
@@ -217,13 +253,13 @@ func (s *Subarray) SumWithLatch(xa, xb, dst int) {
 	s.cells[xa].CopyFrom(xnor)
 	s.cells[xb].CopyFrom(xnor)
 	s.cells[dst].CopyFrom(sum)
-	s.meter.Record(dram.CmdAAP2, 1)
+	s.record(dram.CmdAAP2)
 }
 
 // ResetLatch clears the carry latch (one DPU-issued control op).
 func (s *Subarray) ResetLatch() {
 	s.latch.Fill(false)
-	s.meter.Record(dram.CmdDPU, 1)
+	s.record(dram.CmdDPU)
 }
 
 // LatchState returns a copy of the carry latch.
@@ -244,7 +280,7 @@ func (s *Subarray) XNOR(srcA, srcB, dst int) {
 // to detect an exact k-mer match (Fig. 7).
 func (s *Subarray) MatchAllOnes(r int) bool {
 	s.checkRow(r)
-	s.meter.Record(dram.CmdDPU, 1)
+	s.record(dram.CmdDPU)
 	return s.cells[r].AllOnes()
 }
 
@@ -252,7 +288,7 @@ func (s *Subarray) MatchAllOnes(r int) bool {
 // degree accumulation checks.
 func (s *Subarray) DPUPopCount(r int) int {
 	s.checkRow(r)
-	s.meter.Record(dram.CmdDPU, 1)
+	s.record(dram.CmdDPU)
 	return s.cells[r].PopCount()
 }
 
@@ -271,7 +307,7 @@ func (s *Subarray) TwoRowNOR(xa, xb, dst int) {
 	s.cells[xa].CopyFrom(res)
 	s.cells[xb].CopyFrom(res)
 	s.cells[dst].CopyFrom(res)
-	s.meter.Record(dram.CmdAAP2, 1)
+	s.record(dram.CmdAAP2)
 }
 
 // TwoRowNAND drives dst with the high-Vs detector's NAND2 of two compute
@@ -288,7 +324,7 @@ func (s *Subarray) TwoRowNAND(xa, xb, dst int) {
 	s.cells[xa].CopyFrom(res)
 	s.cells[xb].CopyFrom(res)
 	s.cells[dst].CopyFrom(res)
-	s.meter.Record(dram.CmdAAP2, 1)
+	s.record(dram.CmdAAP2)
 }
 
 // XNOREmulatedTRA computes srcA XNOR srcB into dst using only the
