@@ -2,15 +2,22 @@
 
 GO ?= go
 
-# Packages with concurrency (the parallel stage-1 path and everything it
-# records through); the race-detector gate runs on these.
-RACE_PKGS = ./internal/assembly/... ./internal/core/... ./internal/exec/... ./internal/sched/... ./internal/subarray/... ./internal/dram/...
+# Packages with concurrency (the parallel fan-out engine, the stages driven
+# through it, and everything they record through); the race-detector gate
+# runs on these. internal/eval runs with -short so the race pass exercises
+# the harness without repeating the full multi-second golden runs.
+RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/dram/... ./internal/exec/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/subarray/...
 
-.PHONY: all check build vet test test-race bench reproduce examples clean
+.PHONY: all check fmt-check build vet test test-race bench reproduce examples clean
 
 all: check
 
-check: build vet test test-race
+check: fmt-check build vet test test-race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -23,9 +30,13 @@ test:
 
 test-race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -short ./internal/eval/...
 
+# Root benchmark suite, recorded as a tracked JSON artefact
+# (benchmark name -> iterations + every value/unit pair).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	@echo "wrote BENCH_PR2.json"
 
 # Regenerate every paper table and figure (text + CSV for the plottable ones).
 reproduce: build

@@ -18,6 +18,7 @@ import (
 	"pimassembler/internal/eval"
 	"pimassembler/internal/genome"
 	"pimassembler/internal/kmer"
+	"pimassembler/internal/parallel"
 	"pimassembler/internal/perfmodel"
 	"pimassembler/internal/platforms"
 	"pimassembler/internal/stats"
@@ -61,12 +62,21 @@ func BenchmarkFig3bThroughput(b *testing.B) {
 
 func BenchmarkTableIMonteCarlo(b *testing.B) {
 	m := circuit.DefaultVariationModel()
-	for _, v := range circuit.TableIVariations() {
-		b.Run(fmt.Sprintf("var%.0f%%", v*100), func(b *testing.B) {
+	// The paper's full per-point trial budget, at the hardest sweep point,
+	// serial vs pooled; both produce the identical result by construction.
+	const trials = 10_000
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			defer parallel.SetWorkers(0)
+			parallel.SetWorkers(mode.workers)
 			rng := stats.NewRNG(1)
+			b.ReportAllocs()
 			var r circuit.VariationResult
 			for i := 0; i < b.N; i++ {
-				r = m.MonteCarlo(1000, v, rng.Split())
+				r = m.MonteCarlo(trials, 0.20, rng.Split())
 			}
 			b.ReportMetric(r.TRAErrPct, "TRA-err-%")
 			b.ReportMetric(r.TwoRowErrPct, "2row-err-%")
@@ -184,18 +194,28 @@ func BenchmarkFunctionalBitSerialAdd(b *testing.B) {
 }
 
 func BenchmarkFunctionalBulkXNOR(b *testing.B) {
-	p := core.NewDefaultPlatform()
-	n := p.BulkPad(1 << 14)
-	rng := stats.NewRNG(3)
-	x, y := bitvec.New(n), bitvec.New(n)
-	for i := 0; i < n; i++ {
-		x.Set(i, rng.Float64() < 0.5)
-		y.Set(i, rng.Float64() < 0.5)
-	}
-	b.SetBytes(int64(n / 8))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.BulkXNOR(x, y)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			defer parallel.SetWorkers(0)
+			parallel.SetWorkers(mode.workers)
+			p := core.NewDefaultPlatform()
+			n := p.BulkPad(1 << 14)
+			rng := stats.NewRNG(3)
+			x, y := bitvec.New(n), bitvec.New(n)
+			for i := 0; i < n; i++ {
+				x.Set(i, rng.Float64() < 0.5)
+				y.Set(i, rng.Float64() < 0.5)
+			}
+			b.SetBytes(int64(n / 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.BulkXNOR(x, y)
+			}
+		})
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"pimassembler/internal/debruijn"
 	"pimassembler/internal/genome"
 	"pimassembler/internal/metrics"
+	workerpool "pimassembler/internal/parallel"
 	"pimassembler/internal/perfmodel"
 	"pimassembler/internal/platforms"
 )
@@ -40,8 +41,10 @@ func main() {
 		refPath  = flag.String("ref", "", "optional reference FASTA for quality metrics")
 		paired   = flag.Bool("paired", false, "treat input as interleaved paired-end reads and run mate-pair scaffolding")
 		insert   = flag.Int("insert", 400, "paired mode: mean library insert size")
+		workers  = flag.Int("workers", 0, "worker count for parallel simulator stages (0 = GOMAXPROCS); results are bit-identical for any value")
 	)
 	flag.Parse()
+	workerpool.SetWorkers(*workers)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "assemble: -in is required")
 		flag.Usage()

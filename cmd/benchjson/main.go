@@ -1,0 +1,83 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout: one object per benchmark, keyed by benchmark name,
+// holding the iteration count and every reported value/unit pair (ns/op,
+// B/op, allocs/op, custom ReportMetric units). The bench Makefile target
+// pipes through it to produce the tracked BENCH_PR*.json artefacts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one parsed benchmark result line.
+type entry struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results := make(map[string]entry)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, e, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping malformed line: %s\n", line)
+			continue
+		}
+		results[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// encoding/json emits map keys sorted, so the document is stable.
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   2 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name so results
+// compare across machines.
+func parseLine(line string) (string, entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", entry{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", entry{}, false
+	}
+	e := entry{Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return name, e, true
+}

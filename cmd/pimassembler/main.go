@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"pimassembler/internal/eval"
+	"pimassembler/internal/parallel"
 )
 
 var runners = map[string]func(io.Writer){
@@ -44,8 +45,10 @@ var runners = map[string]func(io.Writer){
 
 func main() {
 	asCSV := flag.Bool("csv", false, "emit the experiment as CSV (fig3b, table1, fig9, fig10, fig11, ksweep)")
+	workers := flag.Int("workers", 0, "worker count for the parallel evaluation stages (0 = GOMAXPROCS); any value yields bit-identical output")
 	flag.Usage = usage
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)

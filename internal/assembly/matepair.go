@@ -89,8 +89,8 @@ func (idx *anchorIndex) anchor(read *genome.Sequence) (contigAnchor, bool) {
 
 // link accumulates evidence between an ordered contig pair.
 type link struct {
-	votes   int
-	gapSum  int
+	votes  int
+	gapSum int
 }
 
 // MatePairScaffold orders contigs using paired-end evidence. k is the

@@ -73,10 +73,10 @@ type StageTimings struct {
 
 // Result is a completed assembly.
 type Result struct {
-	Options  Options
-	Table    *kmer.CountTable
-	Graph    *debruijn.Graph
-	Contigs  []debruijn.Contig
+	Options   Options
+	Table     *kmer.CountTable
+	Graph     *debruijn.Graph
+	Contigs   []debruijn.Contig
 	Scaffolds []Scaffold
 	// EulerWalk is the Eulerian node walk when one exists (nil otherwise);
 	// contigs never depend on it.

@@ -1,0 +1,134 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimassembler/internal/stats"
+)
+
+// naiveCopy is the bit-by-bit loop CopySlice/WriteSlice replace; the range
+// primitives must match it for every offset, aligned or not.
+func naiveCopy(dst *Vector, dstOff int, src *Vector, srcOff, n int) {
+	for i := 0; i < n; i++ {
+		dst.Set(dstOff+i, src.Get(srcOff+i))
+	}
+}
+
+func TestCopySliceMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(21)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed ^ rng.Uint64())
+		srcLen := 1 + r.Intn(400)
+		width := 1 + r.Intn(srcLen)
+		from := r.Intn(srcLen - width + 1)
+		src := randomVec(r, srcLen)
+		got := randomVec(r, width) // pre-filled: every bit must be overwritten
+		want := New(width)
+		naiveCopy(want, 0, src, from, width)
+		src.CopySlice(got, from)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSliceMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(22)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed ^ rng.Uint64())
+		dstLen := 1 + r.Intn(400)
+		width := 1 + r.Intn(dstLen)
+		at := r.Intn(dstLen - width + 1)
+		src := randomVec(r, width)
+		got := randomVec(r, dstLen)
+		want := got.Clone()
+		naiveCopy(want, at, src, 0, width)
+		got.WriteSlice(at, src)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeOpsUnalignedBoundaries pins the awkward cases: offsets straddling
+// word boundaries, single-bit ranges, and full-word ranges at odd offsets.
+func TestRangeOpsUnalignedBoundaries(t *testing.T) {
+	src := New(200)
+	for i := 0; i < 200; i += 3 {
+		src.Set(i, true)
+	}
+	for _, tc := range []struct{ at, width int }{
+		{0, 1}, {63, 1}, {64, 1}, {63, 2}, {1, 64}, {63, 64}, {64, 64},
+		{0, 200}, {7, 129}, {127, 73}, {199, 1},
+	} {
+		if tc.at+tc.width > 200 {
+			t.Fatalf("bad case %+v", tc)
+		}
+		out := New(tc.width)
+		src.CopySlice(out, tc.at)
+		for i := 0; i < tc.width; i++ {
+			if out.Get(i) != src.Get(tc.at+i) {
+				t.Fatalf("CopySlice(at=%d,width=%d): bit %d wrong", tc.at, tc.width, i)
+			}
+		}
+		back := New(200)
+		back.Fill(true)
+		back.WriteSlice(tc.at, out)
+		for i := 0; i < 200; i++ {
+			want := true
+			if i >= tc.at && i < tc.at+tc.width {
+				want = src.Get(i)
+			}
+			if back.Get(i) != want {
+				t.Fatalf("WriteSlice(at=%d,width=%d): bit %d wrong", tc.at, tc.width, i)
+			}
+		}
+	}
+}
+
+func TestRangeOpsPanicOutOfRange(t *testing.T) {
+	v := New(100)
+	for _, f := range []func(){
+		func() { v.CopySlice(New(101), 0) },
+		func() { v.CopySlice(New(10), 91) },
+		func() { v.CopySlice(New(10), -1) },
+		func() { v.WriteSlice(95, New(10)) },
+		func() { v.WriteSlice(-1, New(10)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkCopySliceUnaligned(b *testing.B) {
+	src := New(1 << 14)
+	for i := 0; i < src.Len(); i += 5 {
+		src.Set(i, true)
+	}
+	dst := New(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.CopySlice(dst, (i*37)%(src.Len()-256))
+	}
+}
+
+func BenchmarkWriteSliceAligned(b *testing.B) {
+	dst := New(1 << 14)
+	src := New(256)
+	src.Fill(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.WriteSlice((i%64)*256, src)
+	}
+}

@@ -41,8 +41,8 @@ func TestInverterMonotonicity(t *testing.T) {
 func TestDetectorTruthTable(t *testing.T) {
 	sa := NewSenseAmp()
 	cases := []struct {
-		di, dj           bool
-		nor, nand, xorw  bool
+		di, dj          bool
+		nor, nand, xorw bool
 	}{
 		{false, false, true, true, false},
 		{false, true, false, true, true},

@@ -3,6 +3,7 @@ package circuit
 import (
 	"fmt"
 
+	"pimassembler/internal/parallel"
 	"pimassembler/internal/stats"
 )
 
@@ -56,9 +57,9 @@ func DefaultVariationModel() VariationModel {
 
 // VariationResult reports the outcome of one Monte-Carlo sweep point.
 type VariationResult struct {
-	Variation   float64 // e.g. 0.10 for ±10 %
-	Trials      int
-	TRAErrPct   float64 // triple-row-activation test error, per cent
+	Variation    float64 // e.g. 0.10 for ±10 %
+	Trials       int
+	TRAErrPct    float64 // triple-row-activation test error, per cent
 	TwoRowErrPct float64 // two-row-activation test error, per cent
 }
 
@@ -68,9 +69,33 @@ func (r VariationResult) String() string {
 		r.Variation*100, r.TRAErrPct, r.TwoRowErrPct, r.Trials)
 }
 
+// mcChunkTrials is the fixed trial count per Monte-Carlo chunk. It depends
+// only on the total trial count — never on the worker count — so the chunk
+// boundaries, the per-chunk RNG streams, and therefore every sampled trial
+// are identical no matter how the chunks are scheduled.
+const mcChunkTrials = 500
+
+// mcCounts holds the raw pass/fail counters one chunk of trials produces.
+type mcCounts struct {
+	traWrong, traTotal, twoWrong, twoTotal int
+}
+
+func (c *mcCounts) add(o mcCounts) {
+	c.traWrong += o.traWrong
+	c.traTotal += o.traTotal
+	c.twoWrong += o.twoWrong
+	c.twoTotal += o.twoTotal
+}
+
 // MonteCarlo runs trials Monte-Carlo trials at the given variation bound and
 // returns the per-pattern test-error percentages for both activation
 // mechanisms, reproducing one row of Table I.
+//
+// Trials are sharded into fixed-size chunks executed on the parallel
+// fan-out engine. Each chunk draws from its own RNG stream, pre-split from
+// rng in chunk order before the fan-out, and the chunk counters are merged
+// in chunk order afterwards — so the result (and the state rng is left in)
+// is bit-identical for any worker count, including 1.
 func (m VariationModel) MonteCarlo(trials int, variation float64, rng *stats.RNG) VariationResult {
 	if trials <= 0 {
 		panic("circuit: trials must be positive")
@@ -79,11 +104,32 @@ func (m VariationModel) MonteCarlo(trials int, variation float64, rng *stats.RNG
 		panic("circuit: variation must be non-negative")
 	}
 	res := VariationResult{Variation: variation, Trials: trials}
+	spans := parallel.Spans(trials, mcChunkTrials)
+	rngs := parallel.SplitRNGs(rng, len(spans))
+	parts := parallel.Map(len(spans), func(i int) mcCounts {
+		return m.mcChunk(spans[i].Len(), variation, rngs[i])
+	})
+	var c mcCounts
+	for _, p := range parts {
+		c.add(p)
+	}
+	res.TRAErrPct = 100 * float64(c.traWrong) / float64(c.traTotal)
+	res.TwoRowErrPct = 100 * float64(c.twoWrong) / float64(c.twoTotal)
+	return res
+}
 
+// mcChunk evaluates one chunk of trials serially on the given RNG stream.
+func (m VariationModel) mcChunk(trials int, variation float64, rng *stats.RNG) mcCounts {
 	sigmaComp := variation / 3 * m.ComponentScale
+	sigmaTh := variation / 3 * m.ThresholdScale
 	sigmaCompound := m.CompoundCoeff * variation * variation * Vdd
+	// The coupling amplitude is a pure function of the cell parameters —
+	// hoisted out of the per-evaluation path (it used to be recomputed for
+	// every one of the 12 pattern evaluations per trial).
+	couplingAmp := (m.Cells.CCross*m.CouplingActivity + m.Cells.CWBL) /
+		(m.Cells.CBL + 2*m.Cells.CCell) * Vdd
 
-	var traWrong, traTotal, twoWrong, twoTotal int
+	var cnt mcCounts
 	for trial := 0; trial < trials; trial++ {
 		// Per-trial static mismatch: capacitor and threshold perturbations
 		// are fixed per die, evaluated across all input patterns.
@@ -98,7 +144,6 @@ func (m VariationModel) MonteCarlo(trials int, variation float64, rng *stats.RNG
 			Vdd * (1 + rng.Gaussian(0, sigmaComp)),
 			Vdd * (1 + rng.Gaussian(0, sigmaComp)),
 		}
-		sigmaTh := variation / 3 * m.ThresholdScale
 		vsLow := (Vdd / 4) * (1 + rng.Gaussian(0, sigmaTh))
 		vsHigh := (3 * Vdd / 4) * (1 + rng.Gaussian(0, sigmaTh))
 		vsNormal := (Vdd / 2) * (1 + rng.Gaussian(0, sigmaComp))
@@ -111,9 +156,7 @@ func (m VariationModel) MonteCarlo(trials int, variation float64, rng *stats.RNG
 			if rng.Float64() < 0.5 {
 				sign = -1
 			}
-			amp := (m.Cells.CCross*m.CouplingActivity + m.Cells.CWBL) /
-				(m.Cells.CBL + 2*m.Cells.CCell) * Vdd
-			return sign * amp * rng.Float64()
+			return sign * couplingAmp * rng.Float64()
 		}
 
 		// Two-row activation: four input patterns, XOR2 via the buffered
@@ -128,9 +171,9 @@ func (m VariationModel) MonteCarlo(trials int, variation float64, rng *stats.RNG
 			got := nand && !nor
 			want := d0 != d1
 			if got != want {
-				twoWrong++
+				cnt.twoWrong++
 			}
-			twoTotal++
+			cnt.twoTotal++
 		}
 
 		// Triple-row activation: eight input patterns, MAJ3 sensed by the
@@ -144,14 +187,12 @@ func (m VariationModel) MonteCarlo(trials int, variation float64, rng *stats.RNG
 			got := vin > vsNormal
 			want := b2i(d0)+b2i(d1)+b2i(d2) >= 2
 			if got != want {
-				traWrong++
+				cnt.traWrong++
 			}
-			traTotal++
+			cnt.traTotal++
 		}
 	}
-	res.TRAErrPct = 100 * float64(traWrong) / float64(traTotal)
-	res.TwoRowErrPct = 100 * float64(twoWrong) / float64(twoTotal)
-	return res
+	return cnt
 }
 
 func cellV(d bool, high float64) float64 {
@@ -164,12 +205,14 @@ func cellV(d bool, high float64) float64 {
 // TableIVariations lists the variation sweep points of Table I.
 func TableIVariations() []float64 { return []float64{0.05, 0.10, 0.15, 0.20, 0.30} }
 
-// TableI runs the full Table I sweep with the paper's 10 000 trials.
+// TableI runs the full Table I sweep with the paper's 10 000 trials. The
+// variation points run concurrently: their RNG streams are pre-split in
+// point order, and the results land in point-indexed slots, so the sweep is
+// bit-identical to the old serial loop for any worker count.
 func (m VariationModel) TableI(seed uint64) []VariationResult {
-	rng := stats.NewRNG(seed)
-	out := make([]VariationResult, 0, 5)
-	for _, v := range TableIVariations() {
-		out = append(out, m.MonteCarlo(10000, v, rng.Split()))
-	}
-	return out
+	vars := TableIVariations()
+	rngs := parallel.SplitRNGs(stats.NewRNG(seed), len(vars))
+	return parallel.Map(len(vars), func(i int) VariationResult {
+		return m.MonteCarlo(10000, vars[i], rngs[i])
+	})
 }

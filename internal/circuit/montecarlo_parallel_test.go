@@ -1,0 +1,58 @@
+package circuit
+
+import (
+	"testing"
+
+	"pimassembler/internal/parallel"
+	"pimassembler/internal/stats"
+)
+
+// TestMonteCarloParallelMatchesSerial pins the determinism contract for the
+// chunked Monte-Carlo engine at every Table I sweep point: identical error
+// percentages (not just close — identical, since the chunk RNG streams are
+// pre-split and merged in chunk order) for 1 vs many workers, and the
+// caller's RNG must be left in the same state either way.
+func TestMonteCarloParallelMatchesSerial(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	m := DefaultVariationModel()
+	const trials = 4000
+	for _, v := range TableIVariations() {
+		for _, workers := range []int{2, 4, 8} {
+			parallel.SetWorkers(1)
+			serialRNG := stats.NewRNG(7)
+			serial := m.MonteCarlo(trials, v, serialRNG)
+
+			parallel.SetWorkers(workers)
+			parRNG := stats.NewRNG(7)
+			par := m.MonteCarlo(trials, v, parRNG)
+
+			if par != serial {
+				t.Fatalf("±%.0f%% workers=%d: %+v, serial %+v", v*100, workers, par, serial)
+			}
+			if parRNG.Uint64() != serialRNG.Uint64() {
+				t.Fatalf("±%.0f%% workers=%d: caller RNG state diverged", v*100, workers)
+			}
+		}
+	}
+}
+
+// TestTableIParallelMatchesSerial runs the whole sweep at 1 and 4 workers.
+func TestTableIParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 10k-trial sweep")
+	}
+	defer parallel.SetWorkers(0)
+	m := DefaultVariationModel()
+	parallel.SetWorkers(1)
+	serial := m.TableI(3)
+	parallel.SetWorkers(4)
+	par := m.TableI(3)
+	if len(par) != len(serial) {
+		t.Fatalf("lengths %d vs %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i] != serial[i] {
+			t.Fatalf("point %d: %+v vs %+v", i, par[i], serial[i])
+		}
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 
 	"pimassembler/internal/bitvec"
+	"pimassembler/internal/dram"
 	"pimassembler/internal/exec"
+	"pimassembler/internal/parallel"
+	"pimassembler/internal/subarray"
 )
 
 // Bulk bit-wise operations: the §II-B workload. A bulk operand is split into
@@ -13,6 +16,14 @@ import (
 // read back. Per the paper's software-support rule, operand sizes must be a
 // multiple of the DRAM row size — BulkPad applies the dummy-data padding the
 // paper requires otherwise.
+//
+// Chunks on distinct sub-arrays are independent, so the simulator executes
+// them through the parallel fan-out engine: one worker per active sub-array,
+// each processing its own chunk sequence in order. The digital result, the
+// Meter totals, and each sub-array's final state are bit-identical to the
+// serial schedule (chunk 0, 1, 2, ...) for any worker count — only the
+// interleaving of the recorded command stream across sub-arrays varies,
+// which is the already-documented property of parallel functional runs.
 
 // BulkPad returns n rounded up to the next multiple of the row size, the
 // padding rule of the AAP instruction set ("the application must pad it
@@ -22,26 +33,97 @@ func (p *Platform) BulkPad(nBits int) int {
 	return (nBits + row - 1) / row * row
 }
 
+// bulkSubarrays materialises (serially — materialisation mutates the
+// platform) the sub-arrays the round-robin chunk distribution will touch,
+// tags them with the bulk stage, and returns them indexed by sub-array.
+func (p *Platform) bulkSubarrays(nChunks int) []*subarray.Subarray {
+	active := p.geom.ActiveSubarrays()
+	if active > nChunks {
+		active = nChunks
+	}
+	subs := make([]*subarray.Subarray, active)
+	for i := range subs {
+		subs[i] = p.Subarray(i)
+		subs[i].SetStage(exec.StageBulk)
+	}
+	return subs
+}
+
+// bulkWorkers returns the fan-out width for a bulk operation over row-bit
+// chunks. Direct word-level writes into the shared output vector are only
+// race-free when chunk boundaries are word-aligned; otherwise the operation
+// degenerates to one worker (bit-identical, just serial).
+func bulkWorkers(rowBits int) int {
+	if rowBits%64 != 0 {
+		return 1
+	}
+	return parallel.Workers()
+}
+
+// bulkRun distributes the sub-arrays over the fan-out pool: worker w owns
+// sub-arrays w, w+workers, ... and processes each exactly once. The worker
+// factory is invoked once per worker so row-staging buffers are allocated
+// per worker, not per sub-array; the returned function runs for every
+// sub-array the worker owns.
+//
+// For the duration of the region every sub-array records into a private
+// meter; the privates are merged into the platform meter in sub-array order
+// after the join, so the meter's floating-point sums are bit-identical for
+// any worker count (concurrent accumulation into one meter would make the
+// addition order — and hence the rounding — scheduling-dependent). The
+// private meters are cached on the platform and reset in place, keeping
+// repeated bulk operations allocation-free.
+func (p *Platform) bulkRun(subs []*subarray.Subarray, worker func() func(si int, s *subarray.Subarray)) {
+	for len(p.bulkMeters) < len(subs) {
+		p.bulkMeters = append(p.bulkMeters, dram.NewMeter(p.timing, p.energy))
+	}
+	prev := make([]*dram.Meter, len(subs))
+	for i, s := range subs {
+		p.bulkMeters[i].Reset()
+		prev[i] = s.SetMeter(p.bulkMeters[i])
+	}
+	workers := bulkWorkers(p.geom.RowBits())
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	parallel.ForEachWorkers(workers, workers, func(w int) {
+		fn := worker()
+		for si := w; si < len(subs); si += workers {
+			fn(si, subs[si])
+		}
+	})
+	for i, s := range subs {
+		s.SetMeter(prev[i])
+		p.meter.Merge(p.bulkMeters[i])
+	}
+}
+
 // BulkXNOR computes the elementwise XNOR of two equal-length bit vectors on
 // the functional sub-arrays and returns the result. Operand length must be
 // a multiple of the row size (use BulkPad).
 func (p *Platform) BulkXNOR(a, b *bitvec.Vector) *bitvec.Vector {
 	p.checkBulk(a, b)
 	row := p.geom.RowBits()
+	nChunks := a.Len() / row
 	out := bitvec.New(a.Len())
+	subs := p.bulkSubarrays(nChunks)
 	lay := p.layout
-	for chunk := 0; chunk*row < a.Len(); chunk++ {
-		s := p.Subarray(chunk % p.geom.ActiveSubarrays())
-		s.SetStage(exec.StageBulk)
-		ra, rb, rOut := lay.ReservedBase(), lay.ReservedBase()+1, lay.ReservedBase()+2
-		s.Write(ra, slice(a, chunk*row, row))
-		s.Write(rb, slice(b, chunk*row, row))
-		s.XNOR(ra, rb, rOut)
-		res := s.Read(rOut)
-		for i := 0; i < row; i++ {
-			out.Set(chunk*row+i, res.Get(i))
+	ra, rb, rOut := lay.ReservedBase(), lay.ReservedBase()+1, lay.ReservedBase()+2
+	p.bulkRun(subs, func() func(int, *subarray.Subarray) {
+		opA, opB, res := bitvec.New(row), bitvec.New(row), bitvec.New(row)
+		return func(si int, s *subarray.Subarray) {
+			for chunk := si; chunk < nChunks; chunk += len(subs) {
+				off := chunk * row
+				a.CopySlice(opA, off)
+				b.CopySlice(opB, off)
+				s.Write(ra, opA)
+				s.Write(rb, opB)
+				s.XNOR(ra, rb, rOut)
+				s.ReadInto(rOut, res)
+				out.WriteSlice(off, res)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -59,28 +141,35 @@ func (p *Platform) BulkAdd(a, b []*bitvec.Vector) []*bitvec.Vector {
 	m := len(a)
 	row := p.geom.RowBits()
 	n := a[0].Len()
+	nChunks := n / row
 	out := make([]*bitvec.Vector, m+1)
 	for i := range out {
 		out[i] = bitvec.New(n)
 	}
-	for chunk := 0; chunk*row < n; chunk++ {
-		s := p.Subarray(chunk % p.geom.ActiveSubarrays())
-		s.SetStage(exec.StageBulk)
-		// The reserved region is too small for 3m+1 rows; bulk mode owns
-		// the whole sub-array, so stage operands in the data-row space.
-		aBase, bBase, dBase, carry := 0, m, 2*m, 3*m+2
-		for i := 0; i < m; i++ {
-			s.Write(aBase+i, slice(a[i], chunk*row, row))
-			s.Write(bBase+i, slice(b[i], chunk*row, row))
-		}
-		s.BitSerialAdd(aBase, bBase, dBase, carry, m)
-		for i := 0; i <= m; i++ {
-			res := s.Read(dBase + i)
-			for j := 0; j < row; j++ {
-				out[i].Set(chunk*row+j, res.Get(j))
+	subs := p.bulkSubarrays(nChunks)
+	p.bulkRun(subs, func() func(int, *subarray.Subarray) {
+		op, res := bitvec.New(row), bitvec.New(row)
+		return func(si int, s *subarray.Subarray) {
+			for chunk := si; chunk < nChunks; chunk += len(subs) {
+				off := chunk * row
+				// The reserved region is too small for 3m+1 rows; bulk mode
+				// owns the whole sub-array, so stage operands in the
+				// data-row space.
+				aBase, bBase, dBase, carry := 0, m, 2*m, 3*m+2
+				for i := 0; i < m; i++ {
+					a[i].CopySlice(op, off)
+					s.Write(aBase+i, op)
+					b[i].CopySlice(op, off)
+					s.Write(bBase+i, op)
+				}
+				s.BitSerialAdd(aBase, bBase, dBase, carry, m)
+				for i := 0; i <= m; i++ {
+					s.ReadInto(dBase+i, res)
+					out[i].WriteSlice(off, res)
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -92,13 +181,4 @@ func (p *Platform) checkBulk(a, b *bitvec.Vector) {
 		panic(fmt.Sprintf("core: bulk operand length %d not a multiple of the %d-bit row; apply BulkPad",
 			a.Len(), p.geom.RowBits()))
 	}
-}
-
-// slice copies width bits starting at from into a fresh row vector.
-func slice(v *bitvec.Vector, from, width int) *bitvec.Vector {
-	out := bitvec.New(width)
-	for i := 0; i < width; i++ {
-		out.Set(i, v.Get(from+i))
-	}
-	return out
 }

@@ -23,11 +23,11 @@ type GraphEngine struct {
 	nodes    []kmer.Kmer
 	index    map[kmer.Kmer]int
 
-	lanes     int // vertices per interval (sub-array column count)
-	groups    int // number of intervals
-	blockSub  map[[2]int]int // (srcGroup, dstGroup) -> sub-array id (forward)
-	transSub  map[[2]int]int // (srcGroup, dstGroup) -> sub-array id (transpose)
-	nextSub   int
+	lanes    int            // vertices per interval (sub-array column count)
+	groups   int            // number of intervals
+	blockSub map[[2]int]int // (srcGroup, dstGroup) -> sub-array id (forward)
+	transSub map[[2]int]int // (srcGroup, dstGroup) -> sub-array id (transpose)
+	nextSub  int
 
 	// Row plan inside a graph sub-array.
 	matrixBase  int

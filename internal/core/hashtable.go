@@ -163,7 +163,7 @@ func (t *HashTable) Add(km kmer.Kmer) (inserted bool, err error) {
 
 	tempQuery := lay.TempBase()      // temp row 0: the staged query
 	tempOneHot := lay.TempBase() + 1 // temp row 1: one-hot increment lane
-	xnorOut := lay.ReservedBase()   // reserved row 0: comparison result
+	xnorOut := lay.ReservedBase()    // reserved row 0: comparison result
 
 	s.Write(tempQuery, t.encodeRow(km))
 
@@ -276,12 +276,12 @@ func (t *HashTable) Entries() []kmer.Entry {
 
 // Stats summarises the table's footprint and command mix.
 type Stats struct {
-	Distinct   int
-	Subarrays  int
-	XNOROps    int64
-	AddAAPs    int64
-	CopyAAPs   int64
-	DPUOps     int64
+	Distinct  int
+	Subarrays int
+	XNOROps   int64
+	AddAAPs   int64
+	CopyAAPs  int64
+	DPUOps    int64
 }
 
 // Stats reports footprint and operation counts from the platform meter.

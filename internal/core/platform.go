@@ -37,6 +37,11 @@ type Platform struct {
 	stream *exec.Stream
 	stage  exec.Stage
 	fault  subarray.FaultHook
+
+	// bulkMeters is the pool of private per-sub-array meters the bulk
+	// operations swap in during a parallel region (see bulkRun); cached
+	// here so repeated bulk calls don't reallocate them.
+	bulkMeters []*dram.Meter
 }
 
 // NewPlatform builds a platform from explicit models.

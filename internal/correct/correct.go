@@ -42,9 +42,9 @@ func New(table *kmer.CountTable, solidThreshold uint32, maxCorrections int) *Cor
 
 // Stats summarises a correction run.
 type Stats struct {
-	Reads       int
-	Corrected   int // reads with at least one repair
-	Edits       int // total base repairs
+	Reads        int
+	Corrected    int // reads with at least one repair
+	Edits        int // total base repairs
 	Unrepairable int // reads left with weak k-mers
 }
 

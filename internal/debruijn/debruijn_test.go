@@ -246,7 +246,7 @@ func TestContigsBranching(t *testing.T) {
 	g := NewGraph(5)
 	for _, text := range []string{
 		"CGTGC", "GTGCT", "TGCTT", // contig I: CGTGCTT
-		"GCTTA",                  // bridge from contig I end into the branch node
+		"GCTTA",                   // bridge from contig I end into the branch node
 		"CTTAC", "TTACG", "TACGG", // contig II: TTACGG-ish branch
 		"CTTAG", "TTAGG", // contig III: TTAGG branch
 	} {

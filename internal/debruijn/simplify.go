@@ -15,10 +15,10 @@ import (
 
 // SimplifyStats reports what a simplification pass removed.
 type SimplifyStats struct {
-	TipsClipped    int // edges removed by tip clipping
-	BubblesPopped  int // parallel paths removed
-	EdgesRemoved   int // total edges deleted
-	RoundsRun      int
+	TipsClipped   int // edges removed by tip clipping
+	BubblesPopped int // parallel paths removed
+	EdgesRemoved  int // total edges deleted
+	RoundsRun     int
 }
 
 // removeEdge deletes one edge (identified by its k-mer) from node from.

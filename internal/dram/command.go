@@ -180,11 +180,14 @@ func (m *Meter) AveragePowerW() float64 {
 	return m.EnergyPJ / m.LatencyNS / 1000 // pJ/ns = mW; /1000 → W
 }
 
-// Reset clears all accumulated state.
+// Reset clears all accumulated state in place — the counts map is kept so
+// meters reused across parallel bulk regions don't reallocate per region.
 func (m *Meter) Reset() {
-	m.Counts = make(map[CommandKind]int64)
+	m.mu.Lock()
+	clear(m.Counts)
 	m.LatencyNS = 0
 	m.EnergyPJ = 0
+	m.mu.Unlock()
 }
 
 // Merge adds the counts, latency and energy of other into m. Use it to fold

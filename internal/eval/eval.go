@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"pimassembler/internal/assembly"
 	"pimassembler/internal/circuit"
 	"pimassembler/internal/genome"
+	"pimassembler/internal/parallel"
 	"pimassembler/internal/perfmodel"
 	"pimassembler/internal/platforms"
 )
@@ -277,18 +279,26 @@ func RenderFig11(w io.Writer) {
 	}
 }
 
-// RenderAll runs every experiment in DESIGN.md order.
+// RenderAll runs every experiment in DESIGN.md order. The sections execute
+// concurrently, each rendering into a private buffer; the buffers are
+// flushed to w in the fixed section order, so the combined output is
+// byte-identical to the old serial loop for any worker count.
 func RenderAll(w io.Writer) {
 	sections := []func(io.Writer){
 		RenderFig2b, RenderFig3a, RenderFig3b, RenderTableI, RenderArea,
 		RenderFig9, RenderFig10, RenderFig11, RenderKSweep,
 		RenderSensitivity, RenderFaultStudy, RenderStream,
 	}
-	for i, f := range sections {
+	rendered := parallel.Map(len(sections), func(i int) []byte {
+		var buf bytes.Buffer
+		sections[i](&buf)
+		return buf.Bytes()
+	})
+	for i, b := range rendered {
 		if i > 0 {
 			fmt.Fprintln(w, strings.Repeat("-", 72))
 		}
-		f(w)
+		w.Write(b)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"pimassembler/internal/fault"
 	"pimassembler/internal/genome"
 	"pimassembler/internal/metrics"
+	"pimassembler/internal/parallel"
 	"pimassembler/internal/perfmodel"
 	"pimassembler/internal/stats"
 )
@@ -49,14 +50,19 @@ type FaultCorner struct {
 
 // FaultStudy runs the Table-I-to-application experiment: inject each
 // corner's error rates into a functional assembly and score the result.
+// The corners run concurrently — the workload is generated once before the
+// fan-out, each corner owns its platform, injector, and fixed-seed RNGs,
+// and results land in corner-indexed slots, so the study is deterministic
+// for any worker count.
 func FaultStudy() []FaultCorner {
 	rng := stats.NewRNG(Seed)
 	ref := genome.GenerateGenome(1200, rng)
 	reads := genome.NewReadSampler(ref, 90, 0, rng).Sample(150)
 	opts := assembly.Options{K: 15}
 
-	var out []FaultCorner
-	for _, v := range []float64{0.05, 0.10, 0.20, 0.30} {
+	corners := []float64{0.05, 0.10, 0.20, 0.30}
+	return parallel.Map(len(corners), func(i int) FaultCorner {
+		v := corners[i]
 		corner := FaultCorner{Variation: v, Rates: fault.RatesFromVariation(v, 5000, Seed+1)}
 		p := core.NewDefaultPlatform()
 		injector := fault.NewInjector(corner.Rates, stats.NewRNG(Seed+2))
@@ -70,9 +76,8 @@ func FaultStudy() []FaultCorner {
 			corner.GenomeFraction = rep.GenomeFraction
 			corner.Contigs = rep.Contigs
 		}
-		out = append(out, corner)
-	}
-	return out
+		return corner
+	})
 }
 
 // RenderSensitivity writes the calibration-audit sweep: the headline

@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"pimassembler/internal/parallel"
+)
+
+// TestRenderAllDeterministicAcrossWorkers is the golden-output test for the
+// concurrent harness: the full evaluation report must be byte-identical
+// whether the sections (and every parallel stage beneath them — Monte-Carlo
+// chunks, fault corners, sensitivity scales, bulk ops) run on 1 worker or
+// many, at elevated GOMAXPROCS.
+func TestRenderAllDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	defer parallel.SetWorkers(0)
+
+	render := func(workers int) []byte {
+		parallel.SetWorkers(workers)
+		var buf bytes.Buffer
+		RenderAll(&buf)
+		return buf.Bytes()
+	}
+	serial := render(1)
+	if len(serial) == 0 {
+		t.Fatal("empty report")
+	}
+	par := render(4)
+	if !bytes.Equal(serial, par) {
+		i := 0
+		for i < len(serial) && i < len(par) && serial[i] == par[i] {
+			i++
+		}
+		lo, hi := i-120, i+120
+		if lo < 0 {
+			lo = 0
+		}
+		ctx := func(b []byte) string {
+			h := hi
+			if h > len(b) {
+				h = len(b)
+			}
+			if lo >= h {
+				return ""
+			}
+			return string(b[lo:h])
+		}
+		t.Fatalf("report diverges at byte %d:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			i, ctx(serial), ctx(par))
+	}
+}

@@ -20,9 +20,11 @@ type StreamReport struct {
 	Histogram  exec.Histogram
 	StageCosts []exec.StageCost
 	Whole      sched.Result
-	// WholeSharded schedules the sharded-stage-1 run's stream: the workers'
-	// interleaving spreads consecutive commands over sub-arrays, which is
-	// what the controller can actually overlap.
+	// WholeSharded schedules the sharded-stage-1 run's stream in its
+	// canonical round-robin interleaving: consecutive commands spread over
+	// sub-arrays — what the controller can actually overlap — without the
+	// raw append order's scheduling dependence, so the makespan reproduces
+	// byte-identically across runs and worker counts.
 	WholeSharded sched.Result
 	PerStage     map[exec.Stage]sched.Result
 	// ParallelMatches reports whether the sharded stage 1 reproduced the
@@ -66,7 +68,7 @@ func Stream() StreamReport {
 		Histogram:       p.Stream().Histogram(),
 		StageCosts:      p.Stream().Attribute(p.Timing(), p.Energy()),
 		Whole:           p.ParallelEstimate(),
-		WholeSharded:    pp.ParallelEstimate(),
+		WholeSharded:    sched.ScheduleStream(pp.Stream().Canonical(), pp.SchedConfig()),
 		PerStage:        p.StageEstimates(),
 		ParallelMatches: match && p.Stream().Len() == pp.Stream().Len(),
 		Contigs:         len(res.Contigs),

@@ -133,6 +133,39 @@ func (s *Stream) Commands() []Command {
 	return out
 }
 
+// Canonical returns the commands in a deterministic round-robin
+// interleaving across sub-arrays: each sub-array's own subsequence is
+// preserved (that order is deterministic even under parallel functional
+// runs), and commands are drawn one at a time from every non-exhausted
+// sub-array in ascending index order. Use it to schedule a stream recorded
+// by a parallel run — the raw append order depends on goroutine scheduling,
+// so a makespan derived from it would not reproduce, while the canonical
+// interleaving both reproduces exactly and models the cross-sub-array
+// overlap a controller could extract.
+func (s *Stream) Canonical() []Command {
+	cmds := s.Commands()
+	bySub := make(map[int][]Command)
+	var ids []int
+	for _, c := range cmds {
+		if _, ok := bySub[c.Subarray]; !ok {
+			ids = append(ids, c.Subarray)
+		}
+		bySub[c.Subarray] = append(bySub[c.Subarray], c)
+	}
+	sort.Ints(ids)
+	out := make([]Command, 0, len(cmds))
+	pos := make(map[int]int, len(ids))
+	for len(out) < len(cmds) {
+		for _, id := range ids {
+			if pos[id] < len(bySub[id]) {
+				out = append(out, bySub[id][pos[id]])
+				pos[id]++
+			}
+		}
+	}
+	return out
+}
+
 // Reset clears the stream.
 func (s *Stream) Reset() {
 	s.mu.Lock()

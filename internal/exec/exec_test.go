@@ -138,3 +138,49 @@ func near(a, b float64) bool {
 	}
 	return d/scale < 1e-9
 }
+
+func TestCanonicalPreservesSubsequencesDeterministically(t *testing.T) {
+	// Record the same per-sub-array subsequences under two different
+	// interleavings; Canonical must return the identical slice for both.
+	mk := func(order []int) *Stream {
+		s := NewStream()
+		next := map[int]int{}
+		for _, sub := range order {
+			s.Record(Command{Subarray: sub, Kind: dram.CmdRead, Stage: Stage(1 + next[sub]%4), Rows: 1})
+			next[sub]++
+		}
+		return s
+	}
+	a := mk([]int{2, 0, 0, 1, 2, 1, 0, 2})
+	b := mk([]int{0, 1, 2, 0, 2, 1, 0, 2}) // same multiset per sub-array order
+	ca, cb := a.Canonical(), b.Canonical()
+	if len(ca) != len(cb) || len(ca) != 8 {
+		t.Fatalf("lengths %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("slot %d: %v vs %v", i, ca[i], cb[i])
+		}
+	}
+	// Per-sub-array subsequence must be preserved exactly.
+	var got []Stage
+	for _, c := range ca {
+		if c.Subarray == 0 {
+			got = append(got, c.Stage)
+		}
+	}
+	want := []Stage{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sub 0 subsequence %v, want %v", got, want)
+		}
+	}
+	// Round-robin: the first len(ids) commands cover each sub-array once.
+	seen := map[int]bool{}
+	for _, c := range ca[:3] {
+		seen[c.Subarray] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("first round covers %d sub-arrays, want 3", len(seen))
+	}
+}

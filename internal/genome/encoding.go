@@ -93,7 +93,7 @@ func (s *Sequence) Len() int { return s.n }
 // Base returns the base at position i.
 func (s *Sequence) Base(i int) Base {
 	s.check(i)
-	return Base(s.packed[i/4]>>(uint(i%4)*2) & 3)
+	return Base(s.packed[i/4] >> (uint(i%4) * 2) & 3)
 }
 
 // SetBase assigns position i.

@@ -78,10 +78,10 @@ func TestReadFASTQ(t *testing.T) {
 
 func TestReadFASTQTruncated(t *testing.T) {
 	for _, in := range []string{
-		"@r1\nACGT\n+\n", // missing quality
-		"@r1\nACGT\n",    // missing separator
-		"@r1\n",          // missing sequence
-		"r1\nACGT\n+\nIIII\n", // bad header
+		"@r1\nACGT\n+\n",          // missing quality
+		"@r1\nACGT\n",             // missing separator
+		"@r1\n",                   // missing sequence
+		"r1\nACGT\n+\nIIII\n",     // bad header
 		"@r1\nACGT\nIIII\nIIII\n", // bad separator
 	} {
 		if _, err := ReadFASTQ(strings.NewReader(in)); err == nil {

@@ -12,11 +12,11 @@ import (
 // row-by-row inside a sub-array, so its probe statistics transfer directly
 // to the hardware cost model.
 type CountTable struct {
-	k       int
-	keys    []Kmer
-	counts  []uint32
-	used    []bool
-	n       int
+	k        int
+	keys     []Kmer
+	counts   []uint32
+	used     []bool
+	n        int
 	probeOps int64 // total probe comparisons, for op-count extraction
 }
 

@@ -22,7 +22,7 @@ type Report struct {
 	TotalBases     int
 	ReferenceLen   int
 	N50            int
-	NG50           int     // N50 computed against the reference length
+	NG50           int // N50 computed against the reference length
 	LargestContig  int
 	LargestAligned int     // longest contig that is an exact reference substring
 	GenomeFraction float64 // fraction of reference positions covered by aligned contigs

@@ -89,7 +89,7 @@ func inSituCost(s platforms.Spec, c assembly.OpCounts) StageCost {
 	// DeBruijn: MEM_insert-dominated edge emission, row-parallel, plus the
 	// edge dispatch stream.
 	dbCompute := c.Edges * s.DeBruijnAAPsPerEdge * aap / s.DispatchParallel
-	dbDispatch := c.Edges * (2*kmerDispatchBytes(c.K - 1)) / (DispatchBusGBs * 1e9)
+	dbDispatch := c.Edges * (2 * kmerDispatchBytes(c.K-1)) / (DispatchBusGBs * 1e9)
 	db := dbCompute + dbDispatch
 
 	// Traverse: degree reduction is row-parallel (2 directions ×

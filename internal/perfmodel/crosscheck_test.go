@@ -79,10 +79,10 @@ func TestRippleIncrementCostExact(t *testing.T) {
 	m := p.Meter()
 	bits := p.Layout().CounterBits
 
-	wantWrites := int64(2 + 1)           // temp query + one-hot + zero row
-	wantCopies := int64(1 + 1 + 6*bits)  // insert clone + carry seed + per-bit staging
-	wantAAP2 := int64(bits)              // XOR per bit
-	wantAAP3 := int64(bits)              // TRA-AND per bit
+	wantWrites := int64(2 + 1)          // temp query + one-hot + zero row
+	wantCopies := int64(1 + 1 + 6*bits) // insert clone + carry seed + per-bit staging
+	wantAAP2 := int64(bits)             // XOR per bit
+	wantAAP3 := int64(bits)             // TRA-AND per bit
 	if m.Counts[dram.CmdWrite] != wantWrites {
 		t.Errorf("writes %d, want %d", m.Counts[dram.CmdWrite], wantWrites)
 	}

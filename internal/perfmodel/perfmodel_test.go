@@ -44,7 +44,7 @@ func TestFig9SpeedupShape(t *testing.T) {
 		paperRatio float64
 		tol        float64
 	}{
-		{"GPU", 5.0, 0.5},   // "reduces the execution time on average by 5x"
+		{"GPU", 5.0, 0.5}, // "reduces the execution time on average by 5x"
 		{"Ambit", 2.9, 0.35},
 		{"D3", 2.5, 0.35},
 		{"D1", 2.8, 0.35},

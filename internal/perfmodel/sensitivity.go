@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pimassembler/internal/assembly"
+	"pimassembler/internal/parallel"
 	"pimassembler/internal/platforms"
 )
 
@@ -33,8 +34,10 @@ func DispatchSensitivity(counts assembly.OpCounts, scales []float64) []Sensitivi
 		platforms.GPU(), platforms.PIMAssembler(), platforms.Ambit(),
 		platforms.DRISA1T1C(), platforms.DRISA3T1C(),
 	}
-	out := make([]SensitivityPoint, 0, len(scales))
-	for _, scale := range scales {
+	// Scales are independent analytic evaluations; run them on the fan-out
+	// pool with results in scale-indexed slots (deterministic by index).
+	return parallel.Map(len(scales), func(i int) SensitivityPoint {
+		scale := scales[i]
 		if scale <= 0 {
 			panic(fmt.Sprintf("perfmodel: non-positive scale %v", scale))
 		}
@@ -56,9 +59,8 @@ func DispatchSensitivity(counts assembly.OpCounts, scales []float64) []Sensitivi
 		}
 		p.PAFastest = p.SpeedupVsGPU > 1 && p.SpeedupVsAmbit > 1 &&
 			p.SpeedupVsD1 > 1 && p.SpeedupVsD3 > 1
-		out = append(out, p)
-	}
-	return out
+		return p
+	})
 }
 
 // RenderSensitivity writes the sweep as text.

@@ -76,12 +76,12 @@ func (c Config) duration(kind dram.CommandKind) float64 {
 
 // Result summarises one schedule.
 type Result struct {
-	MakespanNS    float64
-	SerialNS      float64 // sum of command durations (the Meter view)
-	Commands      int
-	Speedup       float64 // SerialNS / MakespanNS
-	BusBoundPct   float64 // fraction of makespan the bus was issuing
-	PeakParallel  int     // maximum concurrently executing commands
+	MakespanNS   float64
+	SerialNS     float64 // sum of command durations (the Meter view)
+	Commands     int
+	Speedup      float64 // SerialNS / MakespanNS
+	BusBoundPct  float64 // fraction of makespan the bus was issuing
+	PeakParallel int     // maximum concurrently executing commands
 }
 
 // String implements fmt.Stringer.

@@ -68,17 +68,73 @@ func (r *RNG) Uniform(lo, hi float64) float64 {
 	return lo + (hi-lo)*r.Float64()
 }
 
-// NormFloat64 returns a standard normal variate (Box-Muller; one value per
-// call, the pair's second value is discarded to keep the state trajectory
-// simple and reproducible).
+// Ziggurat tables for NormFloat64 (Marsaglia–Tsang, 128 layers), computed
+// once at init rather than pasted as literals. zigRN is the start of the
+// right tail; each layer (and the tail) has area 9.91256303526217e-3.
+const (
+	zigRN = 3.442619855899
+	zigM1 = 1 << 31
+)
+
+var (
+	zigKN [128]uint32  // acceptance thresholds on the raw 32-bit draw
+	zigWN [128]float64 // layer widths: x = j * zigWN[i]
+	zigFN [128]float64 // f(x) at the layer boundaries
+)
+
+func init() {
+	const vn = 9.91256303526217e-3
+	dn, tn := zigRN, zigRN
+	q := vn / math.Exp(-0.5*dn*dn)
+	zigKN[0] = uint32(dn / q * zigM1)
+	zigKN[1] = 0
+	zigWN[0] = q / zigM1
+	zigWN[127] = dn / zigM1
+	zigFN[0] = 1
+	zigFN[127] = math.Exp(-0.5 * dn * dn)
+	for i := 126; i >= 1; i-- {
+		dn = math.Sqrt(-2 * math.Log(vn/dn+math.Exp(-0.5*dn*dn)))
+		zigKN[i+1] = uint32(dn / tn * zigM1)
+		tn = dn
+		zigFN[i] = math.Exp(-0.5 * dn * dn)
+		zigWN[i] = dn / zigM1
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the 128-layer ziggurat.
+// ~98.8 % of calls consume one Uint64 and cost a multiply and two compares;
+// the transcendental slow path runs only on layer-edge and tail draws. This
+// replaced a Box-Muller sampler whose sqrt/log/cos per call dominated the
+// Monte-Carlo variation study.
 func (r *RNG) NormFloat64() float64 {
 	for {
-		u1 := r.Float64()
-		if u1 <= 1e-300 {
-			continue
+		j := int32(uint32(r.Uint64() >> 32)) // signed 32-bit draw
+		i := j & 0x7f
+		x := float64(j) * zigWN[i]
+		abs := uint32(j)
+		if j < 0 {
+			abs = uint32(-j)
 		}
-		u2 := r.Float64()
-		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		if abs < zigKN[i] {
+			return x // inside the layer rectangle: accept immediately
+		}
+		if i == 0 {
+			// Tail beyond zigRN: Marsaglia's exponential-rejection sample.
+			for {
+				x = -math.Log(1-r.Float64()) / zigRN
+				y := -math.Log(1 - r.Float64())
+				if y+y >= x*x {
+					break
+				}
+			}
+			if j > 0 {
+				return zigRN + x
+			}
+			return -(zigRN + x)
+		}
+		if zigFN[i]+r.Float64()*(zigFN[i-1]-zigFN[i]) < math.Exp(-0.5*x*x) {
+			return x
+		}
 	}
 }
 

@@ -143,3 +143,53 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+// TestNormFloat64TailFractions checks the ziggurat sampler's distribution
+// shape beyond the first two moments: the mass outside ±1σ/±2σ/±3σ must
+// match the normal law, and the sign must be symmetric. A ziggurat with a
+// mis-built table typically passes a moments test but fails the 3σ tail.
+func TestNormFloat64TailFractions(t *testing.T) {
+	rng := NewRNG(77)
+	const n = 400000
+	var beyond1, beyond2, beyond3, pos int
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		a := math.Abs(x)
+		if a > 1 {
+			beyond1++
+		}
+		if a > 2 {
+			beyond2++
+		}
+		if a > 3 {
+			beyond3++
+		}
+		if x > 0 {
+			pos++
+		}
+	}
+	for _, tc := range []struct {
+		got  int
+		want float64
+		tol  float64
+	}{
+		{beyond1, 0.31731, 0.005},
+		{beyond2, 0.04550, 0.002},
+		{beyond3, 0.00270, 0.0005},
+		{pos, 0.5, 0.005},
+	} {
+		frac := float64(tc.got) / n
+		if math.Abs(frac-tc.want) > tc.tol {
+			t.Fatalf("tail fraction %.5f, want %.5f ± %.4f", frac, tc.want, tc.tol)
+		}
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	rng := NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rng.NormFloat64()
+	}
+	_ = sink
+}

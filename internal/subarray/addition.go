@@ -35,9 +35,10 @@ func (s *Subarray) BitSerialAdd(aBase, bBase, dstBase, carryRow, m int) {
 
 	x1, x2, x3 := s.ComputeRow(0), s.ComputeRow(1), s.ComputeRow(2)
 
-	// Clear the carry: zero the carry row and the latch.
-	zero := bitvec.New(s.cols)
-	s.Write(carryRow, zero)
+	// Clear the carry: zero the carry row and the latch. (t1 is free here —
+	// the compute primitives below overwrite it before reading.)
+	s.t1.Fill(false)
+	s.Write(carryRow, s.t1)
 	s.ResetLatch()
 	s.RowClone(carryRow, x3)
 

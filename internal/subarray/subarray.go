@@ -36,6 +36,11 @@ type Subarray struct {
 	meter *dram.Meter
 	fault FaultHook
 
+	// t1, t2 are scratch rows reused by the compute primitives, which keep
+	// the per-command fast paths allocation-free. Every use fully
+	// overwrites them first; they are never aliased with cell rows.
+	t1, t2 *bitvec.Vector
+
 	// rec receives typed per-command records (nil disables recording); id
 	// is the platform-global sub-array index stamped on every record and
 	// stage the pipeline phase tag the current caller set.
@@ -95,6 +100,8 @@ func New(g dram.Geometry, meter *dram.Meter) *Subarray {
 		computeRows: g.ComputeRows,
 		cells:       make([]*bitvec.Vector, g.RowsPerSubarray),
 		latch:       bitvec.New(g.ColsPerSubarray),
+		t1:          bitvec.New(g.ColsPerSubarray),
+		t2:          bitvec.New(g.ColsPerSubarray),
 		meter:       meter,
 	}
 	for i := range s.cells {
@@ -142,6 +149,20 @@ func (s *Subarray) checkComputeRow(r int) {
 // Meter returns the command meter.
 func (s *Subarray) Meter() *dram.Meter { return s.meter }
 
+// SetMeter replaces the sub-array's command meter, returning the previous
+// one. Parallel bulk drivers hand each worker-owned sub-array a private
+// meter for the duration of a fan-out and merge the private totals in
+// sub-array order afterwards, so the accumulated floating-point latency and
+// energy sums never depend on goroutine scheduling.
+func (s *Subarray) SetMeter(m *dram.Meter) *dram.Meter {
+	if m == nil {
+		panic("subarray: nil meter")
+	}
+	old := s.meter
+	s.meter = m
+	return old
+}
+
 // Write stores data into row r through the normal memory path.
 func (s *Subarray) Write(r int, data *bitvec.Vector) {
 	s.checkRow(r)
@@ -154,6 +175,14 @@ func (s *Subarray) Read(r int) *bitvec.Vector {
 	s.checkRow(r)
 	s.record(dram.CmdRead)
 	return s.cells[r].Clone()
+}
+
+// ReadInto reads row r through the normal memory path into the caller-owned
+// dst, avoiding Read's per-call clone allocation — the bulk-loop fast path.
+func (s *Subarray) ReadInto(r int, dst *bitvec.Vector) {
+	s.checkRow(r)
+	s.record(dram.CmdRead)
+	dst.CopyFrom(s.cells[r])
 }
 
 // Peek returns row r without cost accounting (simulator introspection only).
@@ -186,7 +215,7 @@ func (s *Subarray) TwoRowXNOR(xa, xb, dst int) {
 	s.checkComputeRow(xa)
 	s.checkComputeRow(xb)
 	s.checkRow(dst)
-	res := bitvec.New(s.cols)
+	res := s.t1
 	res.Xnor(s.cells[xa], s.cells[xb])
 	s.applyFault(dram.CmdAAP2, res)
 	s.cells[xa].CopyFrom(res)
@@ -201,10 +230,10 @@ func (s *Subarray) TwoRowXOR(xa, xb, dst int) {
 	s.checkComputeRow(xa)
 	s.checkComputeRow(xb)
 	s.checkRow(dst)
-	res := bitvec.New(s.cols)
+	res := s.t1
 	res.Xor(s.cells[xa], s.cells[xb])
 	s.applyFault(dram.CmdAAP2, res)
-	xnor := bitvec.New(s.cols)
+	xnor := s.t2
 	xnor.Not(res)
 	// Cells restore to the BL value (XNOR side in this MUX configuration
 	// feeds the write-back, complement goes to dst).
@@ -223,7 +252,7 @@ func (s *Subarray) TRACarry(xa, xb, xc, dst int) {
 	s.checkComputeRow(xb)
 	s.checkComputeRow(xc)
 	s.checkRow(dst)
-	res := bitvec.New(s.cols)
+	res := s.t1
 	res.Maj3(s.cells[xa], s.cells[xb], s.cells[xc])
 	s.applyFault(dram.CmdAAP3, res)
 	s.cells[xa].CopyFrom(res)
@@ -243,15 +272,14 @@ func (s *Subarray) SumWithLatch(xa, xb, dst int) {
 	s.checkComputeRow(xa)
 	s.checkComputeRow(xb)
 	s.checkRow(dst)
-	x := bitvec.New(s.cols)
+	x := s.t1
 	x.Xor(s.cells[xa], s.cells[xb])
-	sum := bitvec.New(s.cols)
+	sum := s.t2
 	sum.Xor(x, s.latch)
 	s.applyFault(dram.CmdAAP2, sum)
-	xnor := bitvec.New(s.cols)
-	xnor.Not(x)
-	s.cells[xa].CopyFrom(xnor)
-	s.cells[xb].CopyFrom(xnor)
+	x.Not(x) // in-place word-wise inversion: x now holds the XNOR restore value
+	s.cells[xa].CopyFrom(x)
+	s.cells[xb].CopyFrom(x)
 	s.cells[dst].CopyFrom(sum)
 	s.record(dram.CmdAAP2)
 }
@@ -299,8 +327,7 @@ func (s *Subarray) TwoRowNOR(xa, xb, dst int) {
 	s.checkComputeRow(xa)
 	s.checkComputeRow(xb)
 	s.checkRow(dst)
-	res := bitvec.New(s.cols)
-	or := bitvec.New(s.cols)
+	res, or := s.t1, s.t2
 	or.Or(s.cells[xa], s.cells[xb])
 	res.Not(or)
 	s.applyFault(dram.CmdAAP2, res)
@@ -316,8 +343,7 @@ func (s *Subarray) TwoRowNAND(xa, xb, dst int) {
 	s.checkComputeRow(xa)
 	s.checkComputeRow(xb)
 	s.checkRow(dst)
-	res := bitvec.New(s.cols)
-	and := bitvec.New(s.cols)
+	res, and := s.t1, s.t2
 	and.And(s.cells[xa], s.cells[xb])
 	res.Not(and)
 	s.applyFault(dram.CmdAAP2, res)

@@ -326,3 +326,44 @@ func TestXNOREmulatedTRAMatchesNative(t *testing.T) {
 			emuCmds, s2.Meter().TotalCommands())
 	}
 }
+
+func TestReadInto(t *testing.T) {
+	s := newTestSubarray()
+	v := randomRow(stats.NewRNG(17), 256)
+	s.Write(5, v)
+	dst := bitvec.New(256)
+	s.ReadInto(5, dst)
+	if !dst.Equal(v) {
+		t.Fatal("ReadInto mismatch")
+	}
+	if !dst.Equal(s.Read(5)) {
+		t.Fatal("ReadInto disagrees with Read")
+	}
+	if got := s.Meter().Counts[dram.CmdRead]; got != 2 {
+		t.Fatalf("CmdRead count %d, want 2 (ReadInto must meter like Read)", got)
+	}
+}
+
+func TestSetMeterSwapsAndRestores(t *testing.T) {
+	s := newTestSubarray()
+	orig := s.Meter()
+	private := dram.NewMeter(dram.DefaultTiming(), dram.DefaultEnergy())
+	if prev := s.SetMeter(private); prev != orig {
+		t.Fatal("SetMeter did not return the previous meter")
+	}
+	s.Write(3, randomRow(stats.NewRNG(18), 256))
+	if private.Counts[dram.CmdWrite] != 1 || orig.Counts[dram.CmdWrite] != 0 {
+		t.Fatal("command metered on the wrong meter after swap")
+	}
+	s.SetMeter(orig)
+	s.Read(3)
+	if orig.Counts[dram.CmdRead] != 1 {
+		t.Fatal("command not metered on the restored meter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil meter accepted")
+		}
+	}()
+	s.SetMeter(nil)
+}
