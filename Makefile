@@ -2,11 +2,13 @@
 
 GO ?= go
 
-# Packages with concurrency (the parallel fan-out engine, the stages driven
-# through it, and everything they record through); the race-detector gate
-# runs on these. internal/eval runs with -short so the race pass exercises
-# the harness without repeating the full multi-second golden runs.
-RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/dram/... ./internal/exec/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/subarray/...
+# Packages with concurrency (the parallel fan-out engine, the engine
+# registry, the stages driven through them, and everything they record
+# through); the race-detector gate runs on these. internal/eval runs with
+# -short so the race pass exercises the harness — including the concurrent
+# cross-engine comparison experiment — without repeating the full
+# multi-second golden runs.
+RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/subarray/...
 
 .PHONY: all check fmt-check build vet test test-race bench reproduce examples clean
 
@@ -34,9 +36,11 @@ test-race:
 
 # Root benchmark suite, recorded as a tracked JSON artefact
 # (benchmark name -> iterations + every value/unit pair).
+BENCH_OUT ?= BENCH_PR3.json
+
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
-	@echo "wrote BENCH_PR2.json"
+	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
 
 # Regenerate every paper table and figure (text + CSV for the plottable ones).
 reproduce: build

@@ -6,6 +6,7 @@
 package pimassembler
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"pimassembler/internal/circuit"
 	"pimassembler/internal/core"
 	"pimassembler/internal/dram"
+	"pimassembler/internal/engine"
 	"pimassembler/internal/eval"
 	"pimassembler/internal/genome"
 	"pimassembler/internal/kmer"
@@ -256,6 +258,76 @@ func BenchmarkPIMPipeline(b *testing.B) {
 		p := core.NewDefaultPlatform()
 		if _, err := assembly.AssemblePIM(p, reads, assembly.Options{K: 16}, 16); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Engine registry dispatch (DESIGN.md §10) ---
+
+// BenchmarkEngineDispatch measures the engine layer's overhead against the
+// direct calls it wraps: the registry lookup plus Report assembly must be
+// in the noise next to the pipeline itself.
+func BenchmarkEngineDispatch(b *testing.B) {
+	rng := stats.NewRNG(9)
+	ref := genome.GenerateGenome(20_000, rng)
+	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(2_000)
+	opts := assembly.Options{K: 16}
+
+	b.Run("software-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assembly.Assemble(reads, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("software-engine", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.Lookup("software")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Assemble(ctx, reads, engine.Options{Options: opts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	counts := eval.PaperCounts(16)
+	b.Run("analytical-direct", func(b *testing.B) {
+		spec := platforms.DRISA3T1C()
+		var c perfmodel.StageCost
+		for i := 0; i < b.N; i++ {
+			c = perfmodel.AssemblyCost(spec, counts)
+		}
+		b.ReportMetric(c.TotalS(), "D3-s")
+	})
+	b.Run("analytical-engine", func(b *testing.B) {
+		ctx := context.Background()
+		var rep *engine.Report
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.Lookup("drisa-3t1c")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err = eng.Assemble(ctx, nil, engine.Options{Counts: &counts})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rep.Cost.TotalS(), "D3-s")
+	})
+}
+
+// BenchmarkCrossEngineEval exercises the registry-driven comparison
+// experiment end to end (every engine on the shared workload).
+func BenchmarkCrossEngineEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := eval.CrossEngine()
+		for _, r := range rows {
+			if r.Err != "" {
+				b.Fatalf("engine %s failed: %s", r.Name, r.Err)
+			}
 		}
 	}
 }

@@ -1,56 +1,67 @@
 // Command assemble runs the end-to-end genome assembler: FASTA/FASTQ reads
-// in, contigs out, with a choice of engine — the software reference pipeline
-// or the functional PIM simulation (every k-mer comparison and counter
-// update executed on the simulated sub-arrays) — and per-platform latency
+// in, contigs out, on any engine from the pluggable registry — the software
+// reference pipeline, the functional PIM simulation (every k-mer comparison
+// and counter update executed on the simulated sub-arrays), or one of the
+// per-platform analytical estimators — plus optional per-platform latency
 // and power estimates for the workload.
 //
 // Usage:
 //
 //	assemble -in reads.fasta -k 16 -out contigs.fasta [-engine pim] [-scaffold] [-estimate]
+//	assemble -list-engines
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"pimassembler/internal/assembly"
-	"pimassembler/internal/core"
 	"pimassembler/internal/debruijn"
+	"pimassembler/internal/engine"
 	"pimassembler/internal/genome"
-	"pimassembler/internal/metrics"
 	workerpool "pimassembler/internal/parallel"
-	"pimassembler/internal/perfmodel"
-	"pimassembler/internal/platforms"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input reads (FASTA or FASTQ by extension)")
-		out      = flag.String("out", "contigs.fasta", "output contigs FASTA")
-		k        = flag.Int("k", 16, "k-mer length (paper sweeps 16, 22, 26, 32)")
-		minCount = flag.Uint("mincount", 0, "drop k-mers observed fewer times")
-		engine   = flag.String("engine", "software", "assembly engine: software | pim")
-		nsub     = flag.Int("subarrays", 16, "PIM engine: sub-arrays for the hash table")
-		parallel = flag.Bool("parallel", false, "PIM engine: shard stage 1 across hash sub-arrays (bit-identical)")
-		scaffold = flag.Bool("scaffold", false, "run stage 3 (greedy scaffolding)")
-		simplify = flag.Bool("simplify", false, "run Velvet-style tip/bubble removal after graph construction")
-		correctF = flag.Bool("correct", false, "run k-mer-spectrum read correction before counting")
-		estimate = flag.Bool("estimate", false, "print per-platform latency/power estimates")
-		refPath  = flag.String("ref", "", "optional reference FASTA for quality metrics")
-		paired   = flag.Bool("paired", false, "treat input as interleaved paired-end reads and run mate-pair scaffolding")
-		insert   = flag.Int("insert", 400, "paired mode: mean library insert size")
-		workers  = flag.Int("workers", 0, "worker count for parallel simulator stages (0 = GOMAXPROCS); results are bit-identical for any value")
+		in         = flag.String("in", "", "input reads (FASTA or FASTQ by extension)")
+		out        = flag.String("out", "contigs.fasta", "output contigs FASTA")
+		k          = flag.Int("k", 16, "k-mer length (paper sweeps 16, 22, 26, 32)")
+		minCount   = flag.Uint("mincount", 0, "drop k-mers observed fewer times")
+		engineName = flag.String("engine", "software", "assembly engine (see -list-engines)")
+		listEng    = flag.Bool("list-engines", false, "list the registered engines and exit")
+		nsub       = flag.Int("subarrays", 16, "PIM engine: sub-arrays for the hash table")
+		parallel   = flag.Bool("parallel", false, "PIM engine: shard stage 1 across hash sub-arrays (bit-identical)")
+		scaffold   = flag.Bool("scaffold", false, "run stage 3 (greedy scaffolding)")
+		simplify   = flag.Bool("simplify", false, "run Velvet-style tip/bubble removal after graph construction")
+		correctF   = flag.Bool("correct", false, "run k-mer-spectrum read correction before counting")
+		estimate   = flag.Bool("estimate", false, "print per-platform latency/power estimates")
+		refPath    = flag.String("ref", "", "optional reference FASTA for quality metrics")
+		paired     = flag.Bool("paired", false, "treat input as interleaved paired-end reads and run mate-pair scaffolding")
+		insert     = flag.Int("insert", 400, "paired mode: mean library insert size")
+		workers    = flag.Int("workers", 0, "worker count for parallel simulator stages (0 = GOMAXPROCS); results are bit-identical for any value")
 	)
 	flag.Parse()
 	workerpool.SetWorkers(*workers)
+	if *listEng {
+		for _, e := range engine.Engines() {
+			fmt.Printf("%-14s %s\n", e.Name(), e.Describe())
+		}
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "assemble: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	eng, err := engine.Lookup(*engineName)
+	if err != nil {
+		fail(err)
+	}
 	reads, err := loadReads(*in)
 	if err != nil {
 		fail(err)
@@ -65,58 +76,35 @@ func main() {
 		}
 		reads = genome.Flatten(pairs)
 	}
-	opts := assembly.Options{
-		K:              *k,
-		MinCount:       uint32(*minCount),
-		Scaffold:       *scaffold,
-		Simplify:       *simplify,
-		Correct:        *correctF,
-		MinOverlap:     *k - 4,
-		ParallelStage1: *parallel,
+	opts := engine.Options{
+		Options: assembly.Options{
+			K:              *k,
+			MinCount:       uint32(*minCount),
+			Scaffold:       *scaffold,
+			Simplify:       *simplify,
+			Correct:        *correctF,
+			MinOverlap:     *k - 4,
+			ParallelStage1: *parallel,
+		},
+		Subarrays: *nsub,
+	}
+	if *refPath != "" {
+		refRecs, err := loadRecords(*refPath)
+		if err != nil {
+			fail(err)
+		}
+		if len(refRecs) != 1 {
+			fail(fmt.Errorf("reference FASTA must hold exactly one sequence, got %d", len(refRecs)))
+		}
+		opts.Ref = refRecs[0].Seq
 	}
 
-	var (
-		contigs []debruijn.Contig
-		res     *assembly.Result
-	)
-	switch *engine {
-	case "software":
-		res, err = assembly.Assemble(reads, opts)
-		if err != nil {
-			fail(err)
-		}
-		contigs = res.Contigs
-		fmt.Printf("software pipeline: hashmap %v, deBruijn %v, traverse %v\n",
-			res.Timings.Hashmap, res.Timings.DeBruijn, res.Timings.Traverse)
-	case "pim":
-		p := core.NewDefaultPlatform()
-		pres, err := assembly.AssemblePIM(p, reads, opts, *nsub)
-		if err != nil {
-			fail(err)
-		}
-		contigs = pres.Contigs
-		m := p.Meter()
-		mode := "serial stage 1"
-		if *parallel {
-			mode = "sharded stage 1"
-		}
-		fmt.Printf("PIM functional run (%s): %d commands, %.2f ms serial command time, %.2f µJ array energy\n",
-			mode, m.TotalCommands(), m.LatencyNS/1e6, m.EnergyPJ/1e6)
-		est := p.ParallelEstimate()
-		fmt.Printf("scheduled makespan: %.2f ms (%.1fx overlap across %d sub-arrays)\n",
-			est.MakespanNS/1e6, est.Speedup, p.MaterializedSubarrays())
-		fmt.Println("per-stage command histogram:")
-		for _, line := range strings.Split(strings.TrimRight(p.Stream().Histogram().String(), "\n"), "\n") {
-			fmt.Println("  " + line)
-		}
-		stages := p.StageEstimates()
-		fmt.Println("per-stage attribution (serial cost, energy, scheduled makespan):")
-		for _, c := range p.Stream().Attribute(p.Timing(), p.Energy()) {
-			fmt.Printf("  %s  makespan %.1f µs\n", c, stages[c.Stage].MakespanNS/1e3)
-		}
-	default:
-		fail(fmt.Errorf("unknown engine %q", *engine))
+	rep, err := eng.Assemble(context.Background(), reads, opts)
+	if err != nil {
+		fail(err)
 	}
+	contigs := rep.Contigs
+	report(rep, *parallel)
 
 	records := make([]genome.Record, len(contigs))
 	for i, c := range contigs {
@@ -147,26 +135,48 @@ func main() {
 		fmt.Printf("mate-pair scaffolding: %d contigs -> %d scaffolds (longest chain %d contigs)\n",
 			len(contigs), len(ms), longest)
 	}
-	if *scaffold && res != nil {
-		fmt.Printf("stage 3: %d scaffolds\n", len(res.Scaffolds))
+	if *scaffold && rep.Scaffolds != nil {
+		fmt.Printf("stage 3: %d scaffolds\n", len(rep.Scaffolds))
+	}
+	if rep.Quality != nil {
+		fmt.Println("quality vs reference:", *rep.Quality)
 	}
 
-	if *refPath != "" {
-		refRecs, err := loadRecords(*refPath)
-		if err != nil {
-			fail(err)
+	if *estimate && rep.Counts != nil {
+		fmt.Println("\nper-platform estimates for this workload (analytical engines):")
+		for _, c := range engine.EstimateAll(*rep.Counts) {
+			fmt.Println(" ", c)
 		}
-		if len(refRecs) != 1 {
-			fail(fmt.Errorf("reference FASTA must hold exactly one sequence, got %d", len(refRecs)))
-		}
-		fmt.Println("quality vs reference:", metrics.Evaluate(contigs, refRecs[0].Seq))
 	}
+}
 
-	if *estimate && res != nil {
-		fmt.Println("\nper-platform estimates for this workload (analytical models):")
-		for _, s := range []platforms.Spec{platforms.GPU(), platforms.PIMAssembler(), platforms.Ambit(), platforms.DRISA3T1C(), platforms.DRISA1T1C()} {
-			fmt.Println(" ", perfmodel.AssemblyCost(s, res.Counts))
+// report prints the engine-family-specific accounting of the run.
+func report(rep *engine.Report, parallel bool) {
+	switch {
+	case rep.Timings != nil:
+		fmt.Printf("software pipeline: hashmap %v, deBruijn %v, traverse %v\n",
+			rep.Timings.Hashmap, rep.Timings.DeBruijn, rep.Timings.Traverse)
+	case rep.Functional != nil:
+		s := rep.Functional
+		mode := "serial stage 1"
+		if parallel {
+			mode = "sharded stage 1"
 		}
+		fmt.Printf("PIM functional run (%s): %d commands, %.2f ms serial command time, %.2f µJ array energy\n",
+			mode, s.Commands, s.SerialLatencyNS/1e6, s.EnergyPJ/1e6)
+		fmt.Printf("scheduled makespan: %.2f ms (%.1fx overlap across %d sub-arrays)\n",
+			s.Makespan.MakespanNS/1e6, s.Makespan.Speedup, s.Subarrays)
+		fmt.Println("per-stage command histogram:")
+		for _, line := range strings.Split(strings.TrimRight(s.Histogram.String(), "\n"), "\n") {
+			fmt.Println("  " + line)
+		}
+		fmt.Println("per-stage attribution (serial cost, energy, scheduled makespan):")
+		for _, c := range s.StageCosts {
+			fmt.Printf("  %s  makespan %.1f µs\n", c, s.Stages[c.Stage].MakespanNS/1e3)
+		}
+	case rep.Cost != nil:
+		fmt.Printf("analytical engine %s (contigs from the measured software reference run):\n  %s\n",
+			rep.Engine, rep.Cost)
 	}
 }
 

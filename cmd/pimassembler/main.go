@@ -14,6 +14,7 @@
 //	pimassembler fig11     # memory-bottleneck and utilization ratios
 //	pimassembler faults    # Table I rates injected into the pipeline
 //	pimassembler stream    # per-stage command histogram + makespan + energy
+//	pimassembler engines   # cross-engine comparison over the engine registry
 //	pimassembler all       # everything, in order
 package main
 
@@ -28,19 +29,20 @@ import (
 )
 
 var runners = map[string]func(io.Writer){
-	"fig2b":  eval.RenderFig2b,
-	"fig3a":  eval.RenderFig3a,
-	"fig3b":  eval.RenderFig3b,
-	"table1": eval.RenderTableI,
-	"area":   eval.RenderArea,
-	"fig9":   eval.RenderFig9,
-	"fig10":  eval.RenderFig10,
-	"fig11":  eval.RenderFig11,
-	"faults": eval.RenderFaultStudy,
-	"ksweep": eval.RenderKSweep,
-	"sens":   eval.RenderSensitivity,
-	"stream": eval.RenderStream,
-	"all":    eval.RenderAll,
+	"fig2b":   eval.RenderFig2b,
+	"fig3a":   eval.RenderFig3a,
+	"fig3b":   eval.RenderFig3b,
+	"table1":  eval.RenderTableI,
+	"area":    eval.RenderArea,
+	"fig9":    eval.RenderFig9,
+	"fig10":   eval.RenderFig10,
+	"fig11":   eval.RenderFig11,
+	"faults":  eval.RenderFaultStudy,
+	"ksweep":  eval.RenderKSweep,
+	"sens":    eval.RenderSensitivity,
+	"stream":  eval.RenderStream,
+	"engines": eval.RenderEngines,
+	"all":     eval.RenderAll,
 }
 
 func main() {
@@ -72,5 +74,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: pimassembler [-csv] <experiment>")
-	fmt.Fprintln(os.Stderr, "experiments: fig2b fig3a fig3b table1 area fig9 fig10 fig11 faults ksweep sens stream all")
+	fmt.Fprintln(os.Stderr, "experiments: fig2b fig3a fig3b table1 area fig9 fig10 fig11 faults ksweep sens stream engines all")
 }

@@ -6,15 +6,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"pimassembler/internal/assembly"
-	"pimassembler/internal/core"
 	"pimassembler/internal/debruijn"
+	"pimassembler/internal/engine"
 	"pimassembler/internal/genome"
 	"pimassembler/internal/metrics"
-	"pimassembler/internal/perfmodel"
-	"pimassembler/internal/platforms"
 	"pimassembler/internal/stats"
 )
 
@@ -40,55 +39,60 @@ func main() {
 			res.Timings.Hashmap.Round(1e6), res.Timings.DeBruijn.Round(1e6), res.Timings.Traverse.Round(1e6))
 	}
 
+	// Every execution path is one engine in the pluggable registry: resolve
+	// by name, run the same workload, compare the unified Reports.
+	fmt.Println("\nregistered engines:")
+	for _, e := range engine.Engines() {
+		fmt.Printf("  %-14s %s\n", e.Name(), e.Describe())
+	}
+
 	// Functional PIM run on a slice of the workload, cross-checked against
-	// software output.
+	// the software engine's output.
+	ctx := context.Background()
 	small := reads[:600]
-	opts := assembly.Options{K: 16}
-	sw, err := assembly.Assemble(small, opts)
+	opts := engine.Options{Options: assembly.Options{K: 16}, Subarrays: 64}
+	software, pim := mustEngine("software"), mustEngine("pim")
+	sw, err := software.Assemble(ctx, small, opts)
 	if err != nil {
 		panic(err)
 	}
-	p := core.NewDefaultPlatform()
-	pim, err := assembly.AssemblePIM(p, small, opts, 64)
+	pimRep, err := pim.Assemble(ctx, small, opts)
 	if err != nil {
 		panic(err)
 	}
-	if len(sw.Contigs) != len(pim.Contigs) {
-		panic(fmt.Sprintf("contig count mismatch: software %d, PIM %d", len(sw.Contigs), len(pim.Contigs)))
+	if len(sw.Contigs) != len(pimRep.Contigs) {
+		panic(fmt.Sprintf("contig count mismatch: software %d, PIM %d", len(sw.Contigs), len(pimRep.Contigs)))
 	}
 	for i := range sw.Contigs {
-		if !sw.Contigs[i].Seq.Equal(pim.Contigs[i].Seq) {
+		if !sw.Contigs[i].Seq.Equal(pimRep.Contigs[i].Seq) {
 			panic("contig sequence mismatch between software and PIM engines")
 		}
 	}
-	m := p.Meter()
-	est := p.ParallelEstimate()
+	fn := pimRep.Functional
 	fmt.Printf("\nfunctional PIM run (%d reads): contigs identical to software; %d DRAM commands, %.1f ms serial -> %.1f ms scheduled (%.0fx overlap), %.1f µJ\n",
-		len(small), m.TotalCommands(), m.LatencyNS/1e6, est.MakespanNS/1e6, est.Speedup, m.EnergyPJ/1e6)
+		len(small), fn.Commands, fn.SerialLatencyNS/1e6, fn.Makespan.MakespanNS/1e6, fn.Makespan.Speedup, fn.EnergyPJ/1e6)
 
 	// The recorded command stream attributes that cost to pipeline stages
 	// and prices each stage under the controller scheduler.
-	stages := p.StageEstimates()
 	fmt.Println("per-stage attribution from the recorded command stream:")
-	for _, c := range p.Stream().Attribute(p.Timing(), p.Energy()) {
-		fmt.Printf("  %s  makespan %.1f µs\n", c, stages[c.Stage].MakespanNS/1e3)
+	for _, c := range fn.StageCosts {
+		fmt.Printf("  %s  makespan %.1f µs\n", c, fn.Stages[c.Stage].MakespanNS/1e3)
 	}
 
 	// Sharded stage 1 reproduces the serial run bit for bit.
-	pp := core.NewDefaultPlatform()
 	popts := opts
 	popts.ParallelStage1 = true
-	ppim, err := assembly.AssemblePIM(pp, small, popts, 64)
+	ppim, err := pim.Assemble(ctx, small, popts)
 	if err != nil {
 		panic(err)
 	}
-	for i := range pim.Contigs {
-		if !pim.Contigs[i].Seq.Equal(ppim.Contigs[i].Seq) {
+	for i := range pimRep.Contigs {
+		if !pimRep.Contigs[i].Seq.Equal(ppim.Contigs[i].Seq) {
 			panic("parallel stage 1 diverged from the serial path")
 		}
 	}
 	fmt.Printf("sharded stage 1: identical contigs, %d commands (serial %d)\n",
-		pp.Stream().Len(), p.Stream().Len())
+		ppim.Functional.Histogram.Commands, fn.Histogram.Commands)
 
 	// Stage 3 extension: greedy scaffolding.
 	scaffolds := assembly.ScaffoldContigs(sw.Contigs, 12)
@@ -121,10 +125,24 @@ func main() {
 		len(raw.Contigs), debruijn.N50(raw.Contigs),
 		len(cleaned.Contigs), debruijn.N50(cleaned.Contigs))
 
-	// Full-scale chr14 estimates (the Fig. 9 analysis).
+	// Full-scale chr14 estimates (the Fig. 9 analysis): the analytical
+	// engines price a supplied operation profile directly, no reads needed.
 	fmt.Println("\nfull-scale chromosome-14 estimates (k=16):")
 	counts := assembly.PaperOpCounts(genome.PaperChr14(), 16)
-	for _, s := range []platforms.Spec{platforms.GPU(), platforms.PIMAssembler(), platforms.Ambit(), platforms.DRISA3T1C(), platforms.DRISA1T1C()} {
-		fmt.Println(" ", perfmodel.AssemblyCost(s, counts))
+	for _, name := range []string{"gpu", "pim-assembler", "ambit", "drisa-3t1c", "drisa-1t1c"} {
+		rep, err := mustEngine(name).Assemble(ctx, nil, engine.Options{Counts: &counts})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(" ", *rep.Cost)
 	}
+}
+
+// mustEngine resolves a registry name or panics.
+func mustEngine(name string) engine.Engine {
+	e, err := engine.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }

@@ -103,7 +103,39 @@ func AssemblePIM(p *core.Platform, reads []*genome.Sequence, opts Options, nSuba
 	if opts.Scaffold {
 		res.Scaffolds = ScaffoldContigs(res.Contigs, opts.MinOverlap)
 	}
+	res.Counts = measurePIMCounts(reads, opts.K, table, g)
 	return res, nil
+}
+
+// measurePIMCounts extracts the operation profile of a functional run for
+// the analytical models — the PIM-side twin of measureCounts, with the
+// probe count taken from the simulated hash table's slot visits.
+func measurePIMCounts(reads []*genome.Sequence, k int, table *core.HashTable, g *debruijn.Graph) OpCounts {
+	var total int64
+	for _, r := range reads {
+		if r.Len() >= k {
+			total += int64(r.Len() - k + 1)
+		}
+	}
+	avg := 1.0
+	if total > 0 {
+		avg = float64(table.ProbeOps()) / float64(total)
+	}
+	if avg < 1 {
+		avg = 1
+	}
+	return OpCounts{
+		K:             k,
+		ReadCount:     int64(len(reads)),
+		ReadLen:       readLen(reads),
+		TotalKmers:    float64(total),
+		DistinctKmers: float64(table.Len()),
+		AvgProbes:     avg,
+		Nodes:         float64(g.NumNodes()),
+		Edges:         float64(g.NumEdges()),
+		CounterBits:   32,
+		DegreeBits:    9,
+	}
 }
 
 // countSerial streams the bank and runs the Hashmap procedure k-mer by

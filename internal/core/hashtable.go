@@ -49,6 +49,7 @@ type HashTable struct {
 	place    mapping.HashPlacement
 	occupied map[int][]bool // sub-array (region-relative) -> slot occupancy
 	distinct int64          // atomic: parallel stage-1 workers insert concurrently
+	probes   int64          // atomic: cumulative Add slot visits (see ProbeOps)
 }
 
 // SetOpProfile switches the comparison implementation (default OpsNative).
@@ -99,6 +100,11 @@ func (t *HashTable) K() int { return t.k }
 
 // Len returns the number of distinct k-mers stored.
 func (t *HashTable) Len() int { return int(atomic.LoadInt64(&t.distinct)) }
+
+// ProbeOps returns the cumulative number of slot visits Add has performed —
+// the functional analogue of kmer.CountTable.ProbeOps, feeding the
+// operation-count extraction of the analytical models.
+func (t *HashTable) ProbeOps() int64 { return atomic.LoadInt64(&t.probes) }
 
 // Subarrays returns the size of the table's sub-array region.
 func (t *HashTable) Subarrays() int { return t.place.Subarrays }
@@ -168,6 +174,7 @@ func (t *HashTable) Add(km kmer.Kmer) (inserted bool, err error) {
 	s.Write(tempQuery, t.encodeRow(km))
 
 	for probe := 0; probe < lay.KmerRows; probe++ {
+		atomic.AddInt64(&t.probes, 1)
 		slot := (home + probe) % lay.KmerRows
 		row := lay.KmerRow(slot)
 		if !bm[slot] {

@@ -176,3 +176,40 @@ func (p *Platform) ParallelEstimate() sched.Result {
 func (p *Platform) StageEstimates() map[exec.Stage]sched.Result {
 	return sched.ScheduleStages(p.stream.Commands(), p.SchedConfig())
 }
+
+// Summary bundles every accounting view of one functional run: the serial
+// meter totals, the scheduled whole-run makespan, the per-stage schedules,
+// and the command histogram and energy attribution derived from the
+// recorded stream. It is the functional half of an engine.Report.
+type Summary struct {
+	// Commands is the total command-slot count (the Meter view).
+	Commands int64
+	// SerialLatencyNS is the summed serial command time.
+	SerialLatencyNS float64
+	// EnergyPJ is the accumulated array dynamic energy.
+	EnergyPJ float64
+	// Subarrays is how many sub-arrays the run touched.
+	Subarrays int
+	// Makespan is the whole-run controller schedule.
+	Makespan sched.Result
+	// Stages holds each pipeline stage's independent schedule.
+	Stages map[exec.Stage]sched.Result
+	// Histogram is the per-stage × per-kind command breakdown.
+	Histogram exec.Histogram
+	// StageCosts is the per-stage serial time and energy attribution.
+	StageCosts []exec.StageCost
+}
+
+// Summarize snapshots the platform's accounting after a run.
+func (p *Platform) Summarize() Summary {
+	return Summary{
+		Commands:        p.meter.TotalCommands(),
+		SerialLatencyNS: p.meter.LatencyNS,
+		EnergyPJ:        p.meter.EnergyPJ,
+		Subarrays:       len(p.subs),
+		Makespan:        p.ParallelEstimate(),
+		Stages:          p.StageEstimates(),
+		Histogram:       p.stream.Histogram(),
+		StageCosts:      p.stream.Attribute(p.timing, p.energy),
+	}
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pimassembler/internal/platforms"
+)
+
+// Registry is a name-keyed engine catalogue. Lookup is case-insensitive
+// over canonical names and aliases; listings run in registration order, so
+// they are deterministic for a fixed registration sequence.
+type Registry struct {
+	mu      sync.RWMutex
+	order   []string          // canonical names, registration order
+	engines map[string]Engine // canonical name -> engine
+	alias   map[string]string // lower-cased name/alias -> canonical name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		engines: make(map[string]Engine),
+		alias:   make(map[string]string),
+	}
+}
+
+// Register adds an engine under its Name plus any aliases. Names and
+// aliases share one case-insensitive namespace; a collision is an error.
+func (r *Registry) Register(e Engine, aliases ...string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := e.Name()
+	keys := append([]string{name}, aliases...)
+	for _, k := range keys {
+		lk := strings.ToLower(k)
+		if prev, ok := r.alias[lk]; ok {
+			return fmt.Errorf("engine: name %q already registered (engine %q)", k, prev)
+		}
+	}
+	for _, k := range keys {
+		r.alias[strings.ToLower(k)] = name
+	}
+	r.engines[name] = e
+	r.order = append(r.order, name)
+	return nil
+}
+
+// Lookup resolves an engine by name or alias, case-insensitively. The
+// unknown-name error lists every valid engine name.
+func (r *Registry) Lookup(name string) (Engine, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if canonical, ok := r.alias[strings.ToLower(name)]; ok {
+		return r.engines[canonical], nil
+	}
+	return nil, fmt.Errorf("engine: unknown engine %q (valid: %s)",
+		name, strings.Join(r.order, ", "))
+}
+
+// Names returns the canonical engine names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Engines returns the registered engines in registration order.
+func (r *Registry) Engines() []Engine {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Engine, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.engines[name])
+	}
+	return out
+}
+
+// defaultRegistry holds the package-level catalogue: the software reference
+// pipeline, the functional PIM simulator, and one analytical estimator per
+// evaluated platform, in the paper's comparison order.
+var (
+	defaultRegistry     *Registry
+	defaultRegistryOnce sync.Once
+)
+
+// Default returns the package-level registry, building it on first use.
+func Default() *Registry {
+	defaultRegistryOnce.Do(func() {
+		r := NewRegistry()
+		mustRegister(r, softwareEngine{})
+		mustRegister(r, pimEngine{}, "pim-functional")
+		for _, s := range platforms.All() {
+			e := newAnalyticalEngine(s)
+			// The spec's short paper name (CPU, D1, P-A, ...) doubles as an
+			// alias where it differs from the canonical engine name.
+			if !strings.EqualFold(s.Name, e.Name()) {
+				mustRegister(r, e, s.Name)
+			} else {
+				mustRegister(r, e)
+			}
+		}
+		defaultRegistry = r
+	})
+	return defaultRegistry
+}
+
+func mustRegister(r *Registry, e Engine, aliases ...string) {
+	if err := r.Register(e, aliases...); err != nil {
+		panic(err) // default catalogue names are disjoint by construction
+	}
+}
+
+// Lookup resolves a name against the default registry.
+func Lookup(name string) (Engine, error) { return Default().Lookup(name) }
+
+// Names lists the default registry's canonical names in order.
+func Names() []string { return Default().Names() }
+
+// Engines lists the default registry's engines in order.
+func Engines() []Engine { return Default().Engines() }

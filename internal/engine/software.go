@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"context"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/genome"
+)
+
+// softwareEngine wraps the plain-Go reference pipeline (assembly.Assemble).
+type softwareEngine struct{}
+
+// Name implements Engine.
+func (softwareEngine) Name() string { return "software" }
+
+// Describe implements Engine.
+func (softwareEngine) Describe() string {
+	return "software reference pipeline (plain Go; wall-clock stage timings + measured op counts)"
+}
+
+// Assemble implements Engine.
+func (e softwareEngine) Assemble(ctx context.Context, reads []*genome.Sequence, opts Options) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := assembly.Assemble(reads, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Engine:    e.Name(),
+		Family:    FamilySoftware,
+		Contigs:   res.Contigs,
+		Scaffolds: res.Scaffolds,
+		EulerWalk: res.EulerWalk,
+		EulerErr:  res.EulerErr,
+		Counts:    &res.Counts,
+		Timings:   &res.Timings,
+	}
+	score(rep, opts)
+	return rep, nil
+}

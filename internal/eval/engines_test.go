@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pimassembler/internal/engine"
+	"pimassembler/internal/parallel"
+	"pimassembler/internal/perfmodel"
+	"pimassembler/internal/platforms"
+)
+
+// TestCrossEngineRows runs (also under -short, so the race gate covers the
+// concurrent fan-out): every registered engine must complete the shared
+// workload, reproduce the software reference's contigs byte-for-byte, and
+// report its family's native cost figures.
+func TestCrossEngineRows(t *testing.T) {
+	rows := CrossEngine()
+	if len(rows) != len(engine.Names()) {
+		t.Fatalf("got %d rows for %d registered engines", len(rows), len(engine.Names()))
+	}
+	for i, name := range engine.Names() {
+		if rows[i].Name != name {
+			t.Fatalf("row %d is %q, want registry order %q", i, rows[i].Name, name)
+		}
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("engine %s failed: %s", r.Name, r.Err)
+			continue
+		}
+		if r.Contigs == 0 {
+			t.Errorf("engine %s produced no contigs", r.Name)
+		}
+		if !r.Identical {
+			t.Errorf("engine %s contigs differ from the software reference", r.Name)
+		}
+		switch r.Family {
+		case "functional":
+			if r.Commands <= 0 || r.MakespanNS <= 0 || r.EnergyPJ <= 0 {
+				t.Errorf("engine %s missing functional accounting: %+v", r.Name, r)
+			}
+		case "analytical":
+			if r.ModelTotalS <= 0 || r.ModelPowerW <= 0 {
+				t.Errorf("engine %s missing modeled cost: %+v", r.Name, r)
+			}
+		}
+	}
+}
+
+// TestCrossEngineDeterministicAcrossWorkerCounts pins the experiment to the
+// parallel engine's determinism contract.
+func TestCrossEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	serial := CrossEngine()
+	parallel.SetWorkers(0)
+	pooled := CrossEngine()
+	if len(serial) != len(pooled) {
+		t.Fatalf("row count differs: %d vs %d", len(serial), len(pooled))
+	}
+	for i := range serial {
+		if serial[i] != pooled[i] {
+			t.Errorf("row %d differs across worker counts:\n  serial: %+v\n  pooled: %+v",
+				i, serial[i], pooled[i])
+		}
+	}
+}
+
+// TestRenderEnginesMatchesFig9Figures checks the paper-scale section: the
+// analytical engines priced on the chr14 profile must reproduce the same
+// perfmodel figures Fig. 9 reports.
+func TestRenderEnginesMatchesFig9Figures(t *testing.T) {
+	counts := PaperCounts(16)
+	costs := engine.EstimateAll(counts)
+	specs := platforms.All()
+	if len(costs) != len(specs) {
+		t.Fatalf("EstimateAll covers %d platforms, want %d", len(costs), len(specs))
+	}
+	for i, want := range perfmodel.CostsForK(specs, counts) {
+		if costs[i] != want {
+			t.Errorf("%s: engine estimate %+v != perfmodel %+v", specs[i].Name, costs[i], want)
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderEngines(&buf)
+	out := buf.String()
+	for _, marker := range []string{"Cross-engine comparison", "drisa-3t1c", "pim-assembler", "chr14"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("RenderEngines output missing %q", marker)
+		}
+	}
+}

@@ -287,7 +287,7 @@ func RenderAll(w io.Writer) {
 	sections := []func(io.Writer){
 		RenderFig2b, RenderFig3a, RenderFig3b, RenderTableI, RenderArea,
 		RenderFig9, RenderFig10, RenderFig11, RenderKSweep,
-		RenderSensitivity, RenderFaultStudy, RenderStream,
+		RenderSensitivity, RenderFaultStudy, RenderStream, RenderEngines,
 	}
 	rendered := parallel.Map(len(sections), func(i int) []byte {
 		var buf bytes.Buffer

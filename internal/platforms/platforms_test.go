@@ -2,6 +2,7 @@ package platforms
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -27,6 +28,33 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("TPU"); err == nil {
 		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestByNameCaseInsensitive(t *testing.T) {
+	for query, want := range map[string]string{
+		"GPU": "GPU", "gpu": "GPU", "ambit": "Ambit",
+		"d3": "D3", "p-a": "P-A", "hmc": "HMC",
+	} {
+		s, err := ByName(query)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", query, err)
+		}
+		if s.Name != want {
+			t.Errorf("ByName(%q) = %q, want %q", query, s.Name, want)
+		}
+	}
+}
+
+func TestByNameErrorListsValidNames(t *testing.T) {
+	_, err := ByName("TPU")
+	if err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-platform error %q does not list %q", err, name)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ package platforms
 
 import (
 	"fmt"
+	"strings"
 
 	"pimassembler/internal/dram"
 )
@@ -242,12 +243,24 @@ func PIMBaselines() []Spec {
 	return []Spec{Ambit(), DRISA1T1C(), DRISA3T1C(), PIMAssembler()}
 }
 
-// ByName returns the named spec.
+// Names returns the seven platform names in the paper's comparison order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName returns the named spec, matching case-insensitively; the
+// unknown-name error lists every valid platform.
 func ByName(name string) (Spec, error) {
 	for _, s := range All() {
-		if s.Name == name {
+		if strings.EqualFold(s.Name, name) {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("platforms: unknown platform %q", name)
+	return Spec{}, fmt.Errorf("platforms: unknown platform %q (valid: %s)",
+		name, strings.Join(Names(), ", "))
 }
