@@ -8,9 +8,9 @@ GO ?= go
 # -short so the race pass exercises the harness — including the concurrent
 # cross-engine comparison experiment — without repeating the full
 # multi-second golden runs.
-RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/subarray/...
+RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/jobqueue/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/subarray/...
 
-.PHONY: all check fmt-check build vet test test-race bench reproduce examples clean
+.PHONY: all check ci fmt-check build vet test test-race bench reproduce examples clean
 
 all: check
 
@@ -35,12 +35,22 @@ test-race:
 	$(GO) test -race -short ./internal/eval/...
 
 # Root benchmark suite, recorded as a tracked JSON artefact
-# (benchmark name -> iterations + every value/unit pair).
-BENCH_OUT ?= BENCH_PR3.json
+# (benchmark name -> iterations + every value/unit pair). BENCHTIME=1x is
+# the CI smoke mode: every benchmark runs once, proving the benchjson
+# artefact pipeline still parses without paying full measurement time.
+BENCH_OUT ?= BENCH_PR4.json
+BENCHTIME ?= 1s
 
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# The full local gate, one-to-one with .github/workflows/ci.yml: the check
+# suite plus the bench smoke run. Keep the two in sync — CI must run
+# exactly these commands.
+ci:
+	$(MAKE) check
+	$(MAKE) bench BENCH_OUT=/tmp/bench.json BENCHTIME=1x
 
 # Regenerate every paper table and figure (text + CSV for the plottable ones).
 reproduce: build
@@ -57,6 +67,7 @@ examples:
 	$(GO) run ./examples/variation
 	$(GO) run ./examples/assembly
 	$(GO) run ./examples/reliability
+	$(GO) run ./examples/jobqueue
 
 clean:
 	rm -rf out xnor_transient.csv

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"pimassembler/internal/assembly"
 	"pimassembler/internal/bitvec"
@@ -19,6 +20,7 @@ import (
 	"pimassembler/internal/engine"
 	"pimassembler/internal/eval"
 	"pimassembler/internal/genome"
+	"pimassembler/internal/jobqueue"
 	"pimassembler/internal/kmer"
 	"pimassembler/internal/parallel"
 	"pimassembler/internal/perfmodel"
@@ -329,6 +331,57 @@ func BenchmarkCrossEngineEval(b *testing.B) {
 				b.Fatalf("engine %s failed: %s", r.Name, r.Err)
 			}
 		}
+	}
+}
+
+// --- Job queue (DESIGN.md §11) ---
+
+// BenchmarkJobQueue measures batch dispatch throughput through the
+// concurrent job queue against serial dispatch of the same manifest: eight
+// mixed-engine jobs per batch, identical slot-ordered Reports either way.
+func BenchmarkJobQueue(b *testing.B) {
+	rng := stats.NewRNG(10)
+	workload := func(n int) []*genome.Sequence {
+		ref := genome.GenerateGenome(10_000, rng.Split())
+		return genome.NewReadSampler(ref, 101, 0, rng.Split()).Sample(n)
+	}
+	opts := engine.Options{Options: assembly.Options{K: 16}, Subarrays: 16}
+	counts := eval.PaperCounts(16)
+	var specs []jobqueue.Spec
+	for i := 0; i < 3; i++ {
+		specs = append(specs,
+			jobqueue.Spec{Engine: "software", Reads: workload(800), Opts: opts},
+			jobqueue.Spec{Engine: "pim-assembler", Reads: workload(600), Opts: opts})
+	}
+	specs = append(specs,
+		jobqueue.Spec{Engine: "drisa-3t1c", Opts: engine.Options{Counts: &counts}},
+		jobqueue.Spec{Engine: "gpu", Opts: engine.Options{Counts: &counts}})
+
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"queue", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			workers := mode.workers
+			if workers == 0 {
+				workers = parallel.Workers()
+			}
+			q := jobqueue.New(engine.Default(), jobqueue.WithWorkers(workers))
+			ctx := context.Background()
+			b.ResetTimer()
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				results := q.Run(ctx, specs)
+				elapsed += time.Since(start)
+				for _, r := range results {
+					if r.State != jobqueue.StateDone {
+						b.Fatalf("job %d: state=%v err=%v", r.Slot, r.State, r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(specs))*float64(b.N)/elapsed.Seconds(), "jobs/s")
+		})
 	}
 }
 

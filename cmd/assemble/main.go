@@ -8,13 +8,18 @@
 // Usage:
 //
 //	assemble -in reads.fasta -k 16 -out contigs.fasta [-engine pim] [-scaffold] [-estimate]
+//	assemble -batch jobs.manifest [-workers 4]
 //	assemble -list-engines
+//
+// Exit codes: 0 on success, 1 when a run (or any batch job) fails, 2 on
+// usage errors (bad flags, unreadable manifest, unknown engine name).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,58 +30,64 @@ import (
 	workerpool "pimassembler/internal/parallel"
 )
 
+// Exit codes, documented in -h output.
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main: parse args, dispatch, and return the process
+// exit code. Every failure path prints a one-line message to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("assemble", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in         = flag.String("in", "", "input reads (FASTA or FASTQ by extension)")
-		out        = flag.String("out", "contigs.fasta", "output contigs FASTA")
-		k          = flag.Int("k", 16, "k-mer length (paper sweeps 16, 22, 26, 32)")
-		minCount   = flag.Uint("mincount", 0, "drop k-mers observed fewer times")
-		engineName = flag.String("engine", "software", "assembly engine (see -list-engines)")
-		listEng    = flag.Bool("list-engines", false, "list the registered engines and exit")
-		nsub       = flag.Int("subarrays", 16, "PIM engine: sub-arrays for the hash table")
-		parallel   = flag.Bool("parallel", false, "PIM engine: shard stage 1 across hash sub-arrays (bit-identical)")
-		scaffold   = flag.Bool("scaffold", false, "run stage 3 (greedy scaffolding)")
-		simplify   = flag.Bool("simplify", false, "run Velvet-style tip/bubble removal after graph construction")
-		correctF   = flag.Bool("correct", false, "run k-mer-spectrum read correction before counting")
-		estimate   = flag.Bool("estimate", false, "print per-platform latency/power estimates")
-		refPath    = flag.String("ref", "", "optional reference FASTA for quality metrics")
-		paired     = flag.Bool("paired", false, "treat input as interleaved paired-end reads and run mate-pair scaffolding")
-		insert     = flag.Int("insert", 400, "paired mode: mean library insert size")
-		workers    = flag.Int("workers", 0, "worker count for parallel simulator stages (0 = GOMAXPROCS); results are bit-identical for any value")
+		in         = fs.String("in", "", "input reads (FASTA or FASTQ by extension)")
+		out        = fs.String("out", "contigs.fasta", "output contigs FASTA")
+		k          = fs.Int("k", 16, "k-mer length (paper sweeps 16, 22, 26, 32)")
+		minCount   = fs.Uint("mincount", 0, "drop k-mers observed fewer times")
+		engineName = fs.String("engine", "software", "assembly engine (see -list-engines)")
+		listEng    = fs.Bool("list-engines", false, "list the registered engines and exit")
+		nsub       = fs.Int("subarrays", 16, "PIM engine: sub-arrays for the hash table")
+		parallel   = fs.Bool("parallel", false, "PIM engine: shard stage 1 across hash sub-arrays (bit-identical)")
+		scaffold   = fs.Bool("scaffold", false, "run stage 3 (greedy scaffolding)")
+		simplify   = fs.Bool("simplify", false, "run Velvet-style tip/bubble removal after graph construction")
+		correctF   = fs.Bool("correct", false, "run k-mer-spectrum read correction before counting")
+		estimate   = fs.Bool("estimate", false, "print per-platform latency/power estimates")
+		refPath    = fs.String("ref", "", "optional reference FASTA for quality metrics")
+		paired     = fs.Bool("paired", false, "treat input as interleaved paired-end reads and run mate-pair scaffolding")
+		insert     = fs.Int("insert", 400, "paired mode: mean library insert size")
+		workers    = fs.Int("workers", 0, "worker count for parallel stages and the batch job queue (0 = GOMAXPROCS); results are bit-identical for any value")
+		batch      = fs.String("batch", "", "run a manifest of jobs through the concurrent queue (one '<input> <engine> [key=value ...]' per line)")
 	)
-	flag.Parse()
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: assemble -in reads.fasta [flags]")
+		fmt.Fprintln(stderr, "       assemble -batch jobs.manifest [flags]")
+		fmt.Fprintln(stderr, "       assemble -list-engines")
+		fmt.Fprintln(stderr, "\nexit codes: 0 success; 1 run or batch-job failure; 2 usage error")
+		fmt.Fprintln(stderr, "\nbatch manifest: one job per line, '#' comments;")
+		fmt.Fprintln(stderr, "  <input-path> <engine> [k=N] [mincount=N] [subarrays=N] [timeout=DUR] [retries=N] [backoff=DUR]")
+		fmt.Fprintln(stderr, "\nflags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		// The FlagSet already printed the one-line error and usage.
+		return exitUsage
+	}
 	workerpool.SetWorkers(*workers)
 	if *listEng {
 		for _, e := range engine.Engines() {
-			fmt.Printf("%-14s %s\n", e.Name(), e.Describe())
+			fmt.Fprintf(stdout, "%-14s %s\n", e.Name(), e.Describe())
 		}
-		return
-	}
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "assemble: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		return exitOK
 	}
 
-	eng, err := engine.Lookup(*engineName)
-	if err != nil {
-		fail(err)
-	}
-	reads, err := loadReads(*in)
-	if err != nil {
-		fail(err)
-	}
-	var pairs []genome.ReadPair
-	if *paired {
-		if len(reads)%2 != 0 {
-			fail(fmt.Errorf("paired mode needs an even read count, got %d", len(reads)))
-		}
-		for i := 0; i+1 < len(reads); i += 2 {
-			pairs = append(pairs, genome.ReadPair{R1: reads[i], R2: reads[i+1]})
-		}
-		reads = genome.Flatten(pairs)
-	}
-	opts := engine.Options{
+	defaults := engine.Options{
 		Options: assembly.Options{
 			K:              *k,
 			MinCount:       uint32(*minCount),
@@ -88,23 +99,63 @@ func main() {
 		},
 		Subarrays: *nsub,
 	}
+
+	if *batch != "" {
+		if *in != "" {
+			fmt.Fprintln(stderr, "assemble: -batch and -in are mutually exclusive")
+			return exitUsage
+		}
+		return runBatch(*batch, *engineName, defaults, *workers, stdout, stderr)
+	}
+
+	if *in == "" {
+		fmt.Fprintln(stderr, "assemble: -in is required")
+		fs.Usage()
+		return exitUsage
+	}
+
+	eng, err := engine.Lookup(*engineName)
+	if err != nil {
+		fmt.Fprintln(stderr, "assemble:", err)
+		return exitUsage
+	}
+	reads, err := loadReads(*in)
+	if err != nil {
+		fmt.Fprintln(stderr, "assemble:", err)
+		return exitRuntime
+	}
+	var pairs []genome.ReadPair
+	if *paired {
+		if len(reads)%2 != 0 {
+			fmt.Fprintf(stderr, "assemble: paired mode needs an even read count, got %d\n", len(reads))
+			return exitRuntime
+		}
+		for i := 0; i+1 < len(reads); i += 2 {
+			pairs = append(pairs, genome.ReadPair{R1: reads[i], R2: reads[i+1]})
+		}
+		reads = genome.Flatten(pairs)
+	}
+	opts := defaults
 	if *refPath != "" {
 		refRecs, err := loadRecords(*refPath)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "assemble:", err)
+			return exitRuntime
 		}
 		if len(refRecs) != 1 {
-			fail(fmt.Errorf("reference FASTA must hold exactly one sequence, got %d", len(refRecs)))
+			fmt.Fprintf(stderr, "assemble: reference FASTA must hold exactly one sequence, got %d\n", len(refRecs))
+			return exitRuntime
 		}
 		opts.Ref = refRecs[0].Seq
 	}
 
 	rep, err := eng.Assemble(context.Background(), reads, opts)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "assemble:", err)
+		return exitRuntime
 	}
 	contigs := rep.Contigs
-	report(rep, *parallel)
+	report(stdout, rep, *parallel)
 
 	records := make([]genome.Record, len(contigs))
 	for i, c := range contigs {
@@ -115,14 +166,16 @@ func main() {
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "assemble:", err)
+		return exitRuntime
 	}
 	defer f.Close()
 	if err := genome.WriteFASTA(f, records); err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "assemble:", err)
+		return exitRuntime
 	}
 
-	fmt.Printf("assembled %d reads (k=%d): %d contigs, %d bases, N50=%d\n",
+	fmt.Fprintf(stdout, "assembled %d reads (k=%d): %d contigs, %d bases, N50=%d\n",
 		len(reads), *k, len(contigs), debruijn.TotalBases(contigs), debruijn.N50(contigs))
 	if *paired {
 		ms := assembly.MatePairScaffold(contigs, pairs, *k, *insert, 3)
@@ -132,29 +185,30 @@ func main() {
 				longest = len(s.Contigs)
 			}
 		}
-		fmt.Printf("mate-pair scaffolding: %d contigs -> %d scaffolds (longest chain %d contigs)\n",
+		fmt.Fprintf(stdout, "mate-pair scaffolding: %d contigs -> %d scaffolds (longest chain %d contigs)\n",
 			len(contigs), len(ms), longest)
 	}
 	if *scaffold && rep.Scaffolds != nil {
-		fmt.Printf("stage 3: %d scaffolds\n", len(rep.Scaffolds))
+		fmt.Fprintf(stdout, "stage 3: %d scaffolds\n", len(rep.Scaffolds))
 	}
 	if rep.Quality != nil {
-		fmt.Println("quality vs reference:", *rep.Quality)
+		fmt.Fprintln(stdout, "quality vs reference:", *rep.Quality)
 	}
 
 	if *estimate && rep.Counts != nil {
-		fmt.Println("\nper-platform estimates for this workload (analytical engines):")
+		fmt.Fprintln(stdout, "\nper-platform estimates for this workload (analytical engines):")
 		for _, c := range engine.EstimateAll(*rep.Counts) {
-			fmt.Println(" ", c)
+			fmt.Fprintln(stdout, " ", c)
 		}
 	}
+	return exitOK
 }
 
 // report prints the engine-family-specific accounting of the run.
-func report(rep *engine.Report, parallel bool) {
+func report(w io.Writer, rep *engine.Report, parallel bool) {
 	switch {
 	case rep.Timings != nil:
-		fmt.Printf("software pipeline: hashmap %v, deBruijn %v, traverse %v\n",
+		fmt.Fprintf(w, "software pipeline: hashmap %v, deBruijn %v, traverse %v\n",
 			rep.Timings.Hashmap, rep.Timings.DeBruijn, rep.Timings.Traverse)
 	case rep.Functional != nil:
 		s := rep.Functional
@@ -162,20 +216,20 @@ func report(rep *engine.Report, parallel bool) {
 		if parallel {
 			mode = "sharded stage 1"
 		}
-		fmt.Printf("PIM functional run (%s): %d commands, %.2f ms serial command time, %.2f µJ array energy\n",
+		fmt.Fprintf(w, "PIM functional run (%s): %d commands, %.2f ms serial command time, %.2f µJ array energy\n",
 			mode, s.Commands, s.SerialLatencyNS/1e6, s.EnergyPJ/1e6)
-		fmt.Printf("scheduled makespan: %.2f ms (%.1fx overlap across %d sub-arrays)\n",
+		fmt.Fprintf(w, "scheduled makespan: %.2f ms (%.1fx overlap across %d sub-arrays)\n",
 			s.Makespan.MakespanNS/1e6, s.Makespan.Speedup, s.Subarrays)
-		fmt.Println("per-stage command histogram:")
+		fmt.Fprintln(w, "per-stage command histogram:")
 		for _, line := range strings.Split(strings.TrimRight(s.Histogram.String(), "\n"), "\n") {
-			fmt.Println("  " + line)
+			fmt.Fprintln(w, "  "+line)
 		}
-		fmt.Println("per-stage attribution (serial cost, energy, scheduled makespan):")
+		fmt.Fprintln(w, "per-stage attribution (serial cost, energy, scheduled makespan):")
 		for _, c := range s.StageCosts {
-			fmt.Printf("  %s  makespan %.1f µs\n", c, s.Stages[c.Stage].MakespanNS/1e3)
+			fmt.Fprintf(w, "  %s  makespan %.1f µs\n", c, s.Stages[c.Stage].MakespanNS/1e3)
 		}
 	case rep.Cost != nil:
-		fmt.Printf("analytical engine %s (contigs from the measured software reference run):\n  %s\n",
+		fmt.Fprintf(w, "analytical engine %s (contigs from the measured software reference run):\n  %s\n",
 			rep.Engine, rep.Cost)
 	}
 }
@@ -202,9 +256,4 @@ func loadReads(path string) ([]*genome.Sequence, error) {
 		reads[i] = r.Seq
 	}
 	return reads, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "assemble:", err)
-	os.Exit(1)
 }

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,23 +21,13 @@ type entry struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// maxLine bounds one benchmark output line (names and metric lists are
+// small; 1 MiB leaves enormous headroom).
+const maxLine = 1 << 20
+
 func main() {
-	results := make(map[string]entry)
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		name, e, ok := parseLine(line)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: skipping malformed line: %s\n", line)
-			continue
-		}
-		results[name] = e
-	}
-	if err := sc.Err(); err != nil {
+	results, err := parse(os.Stdin, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -48,6 +39,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// parse reads `go test -bench` output and collects every benchmark line.
+// Malformed Benchmark lines are skipped with a note on warnw; a scanner
+// failure (e.g. a line beyond maxLine) is an error.
+func parse(r io.Reader, warnw io.Writer) (map[string]entry, error) {
+	results := make(map[string]entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, maxLine), maxLine)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, e, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(warnw, "benchjson: skipping malformed line: %s\n", line)
+			continue
+		}
+		results[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // parseLine parses one result line of the form

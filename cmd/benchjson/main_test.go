@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseLine covers the happy paths: standard -bench output, -benchmem
+// columns, custom ReportMetric units, and GOMAXPROCS-suffix stripping.
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		name    string
+		line    string
+		want    string
+		iters   int64
+		metrics map[string]float64
+	}{
+		{
+			name:    "plain",
+			line:    "BenchmarkFoo-8   1234   5678 ns/op",
+			want:    "BenchmarkFoo",
+			iters:   1234,
+			metrics: map[string]float64{"ns/op": 5678},
+		},
+		{
+			name:    "benchmem",
+			line:    "BenchmarkBar-16  10  250 ns/op  90 B/op  2 allocs/op",
+			want:    "BenchmarkBar",
+			iters:   10,
+			metrics: map[string]float64{"ns/op": 250, "B/op": 90, "allocs/op": 2},
+		},
+		{
+			name:    "custom-report-metric-units",
+			line:    "BenchmarkFig9Assembly/k16-8  3  1e+07 ns/op  118.2 P-A-s  12.5 speedup-vs-GPU  6.4 P-A-W",
+			want:    "BenchmarkFig9Assembly/k16",
+			iters:   3,
+			metrics: map[string]float64{"ns/op": 1e7, "P-A-s": 118.2, "speedup-vs-GPU": 12.5, "P-A-W": 6.4},
+		},
+		{
+			name:    "no-gomaxprocs-suffix",
+			line:    "BenchmarkBaz  7  99 ns/op",
+			want:    "BenchmarkBaz",
+			iters:   7,
+			metrics: map[string]float64{"ns/op": 99},
+		},
+		{
+			name:    "non-numeric-suffix-kept",
+			line:    "BenchmarkQux/width-wide  7  99 ns/op",
+			want:    "BenchmarkQux/width-wide",
+			iters:   7,
+			metrics: map[string]float64{"ns/op": 99},
+		},
+		{
+			name:    "scientific-notation",
+			line:    "BenchmarkBig-4  2  3.25e+09 ns/op",
+			want:    "BenchmarkBig",
+			iters:   2,
+			metrics: map[string]float64{"ns/op": 3.25e9},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			name, e, ok := parseLine(tc.line)
+			if !ok {
+				t.Fatalf("parseLine(%q) rejected", tc.line)
+			}
+			if name != tc.want {
+				t.Fatalf("name = %q, want %q", name, tc.want)
+			}
+			if e.Iterations != tc.iters {
+				t.Fatalf("iterations = %d, want %d", e.Iterations, tc.iters)
+			}
+			if len(e.Metrics) != len(tc.metrics) {
+				t.Fatalf("metrics = %v, want %v", e.Metrics, tc.metrics)
+			}
+			for unit, v := range tc.metrics {
+				if got := e.Metrics[unit]; math.Abs(got-v) > 1e-9*math.Abs(v) {
+					t.Fatalf("metric %s = %v, want %v", unit, got, v)
+				}
+			}
+		})
+	}
+}
+
+// TestParseLineMalformed covers every rejection path.
+func TestParseLineMalformed(t *testing.T) {
+	cases := map[string]string{
+		"too-few-fields":       "BenchmarkFoo-8 1234",
+		"odd-field-count":      "BenchmarkFoo-8 1234 5678 ns/op trailing",
+		"non-integer-iters":    "BenchmarkFoo-8 fast 5678 ns/op",
+		"non-numeric-metric":   "BenchmarkFoo-8 1234 quick ns/op",
+		"non-numeric-trailing": "BenchmarkFoo-8 1234 5678 ns/op nine B/op",
+		"empty":                "",
+	}
+	for name, line := range cases {
+		t.Run(name, func(t *testing.T) {
+			if got, _, ok := parseLine(line); ok {
+				t.Fatalf("parseLine(%q) accepted as %q", line, got)
+			}
+		})
+	}
+}
+
+// TestParseStream pins the full stream path: non-benchmark chatter is
+// ignored, malformed Benchmark lines warn and are skipped, parsed entries
+// land keyed by stripped name.
+func TestParseStream(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: pimassembler",
+		"BenchmarkGood-8   100   42 ns/op",
+		"BenchmarkBroken-8 banana 42 ns/op",
+		"PASS",
+		"ok  	pimassembler	1.234s",
+	}, "\n")
+	var warn bytes.Buffer
+	results, err := parse(strings.NewReader(input), &warn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %v, want 1 entry", results)
+	}
+	e, ok := results["BenchmarkGood"]
+	if !ok || e.Iterations != 100 || e.Metrics["ns/op"] != 42 {
+		t.Fatalf("BenchmarkGood = %+v ok=%v", e, ok)
+	}
+	if !strings.Contains(warn.String(), "skipping malformed line") {
+		t.Fatalf("no malformed-line warning: %q", warn.String())
+	}
+}
+
+// TestParseHugeLines probes the scanner buffer: a benchmark line just under
+// the 1 MiB cap parses, and one beyond it surfaces as an error rather than
+// silent truncation.
+func TestParseHugeLines(t *testing.T) {
+	// A valid line padded to ~maxLine-64 bytes with extra metric pairs.
+	var sb strings.Builder
+	sb.WriteString("BenchmarkHuge-8 1 10 ns/op")
+	n := 0
+	for sb.Len() < maxLine-64 {
+		n++
+		sb.WriteString(fmt.Sprintf(" %d unit%d/op", n, n))
+	}
+	okLine := sb.String()
+	results, err := parse(strings.NewReader(okLine+"\n"), &bytes.Buffer{})
+	if err != nil {
+		t.Fatalf("near-cap line failed: %v", err)
+	}
+	e := results["BenchmarkHuge"]
+	if e.Iterations != 1 || len(e.Metrics) != n+1 {
+		t.Fatalf("near-cap line parsed %d metrics, want %d", len(e.Metrics), n+1)
+	}
+
+	over := "BenchmarkOver-8 1 10 ns/op " + strings.Repeat("x", maxLine+1)
+	if _, err := parse(strings.NewReader(over), &bytes.Buffer{}); err == nil {
+		t.Fatal("over-cap line did not error")
+	}
+}

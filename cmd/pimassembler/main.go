@@ -16,6 +16,9 @@
 //	pimassembler stream    # per-stage command histogram + makespan + energy
 //	pimassembler engines   # cross-engine comparison over the engine registry
 //	pimassembler all       # everything, in order
+//
+// Exit codes: 0 on success, 2 on usage errors (bad flags, unknown
+// experiment, CSV for an experiment without a CSV form).
 package main
 
 import (
@@ -26,6 +29,12 @@ import (
 
 	"pimassembler/internal/eval"
 	"pimassembler/internal/parallel"
+)
+
+// Exit codes, documented in -h output.
+const (
+	exitOK    = 0
+	exitUsage = 2
 )
 
 var runners = map[string]func(io.Writer){
@@ -46,33 +55,48 @@ var runners = map[string]func(io.Writer){
 }
 
 func main() {
-	asCSV := flag.Bool("csv", false, "emit the experiment as CSV (fig3b, table1, fig9, fig10, fig11, ksweep)")
-	workers := flag.Int("workers", 0, "worker count for the parallel evaluation stages (0 = GOMAXPROCS); any value yields bit-identical output")
-	flag.Usage = usage
-	flag.Parse()
-	parallel.SetWorkers(*workers)
-	if flag.NArg() != 1 {
-		usage()
-		os.Exit(2)
-	}
-	name := flag.Arg(0)
-	if *asCSV {
-		if err := eval.WriteCSV(name, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		return
-	}
-	run, ok := runners[name]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-		usage()
-		os.Exit(2)
-	}
-	run(os.Stdout)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pimassembler [-csv] <experiment>")
-	fmt.Fprintln(os.Stderr, "experiments: fig2b fig3a fig3b table1 area fig9 fig10 fig11 faults ksweep sens stream engines all")
+// run is the testable main: parse args, render, and return the process exit
+// code. Every failure path prints a one-line message to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimassembler", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asCSV := fs.Bool("csv", false, "emit the experiment as CSV (fig3b, table1, fig9, fig10, fig11, ksweep)")
+	workers := fs.Int("workers", 0, "worker count for the parallel evaluation stages (0 = GOMAXPROCS); any value yields bit-identical output")
+	fs.Usage = func() { usage(stderr) }
+	if err := fs.Parse(args); err != nil {
+		// The FlagSet already printed the one-line error and usage.
+		return exitUsage
+	}
+	parallel.SetWorkers(*workers)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "pimassembler: exactly one experiment name expected")
+		usage(stderr)
+		return exitUsage
+	}
+	name := fs.Arg(0)
+	if *asCSV {
+		if err := eval.WriteCSV(name, stdout); err != nil {
+			fmt.Fprintln(stderr, "pimassembler:", err)
+			usage(stderr)
+			return exitUsage
+		}
+		return exitOK
+	}
+	render, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(stderr, "pimassembler: unknown experiment %q\n", name)
+		usage(stderr)
+		return exitUsage
+	}
+	render(stdout)
+	return exitOK
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: pimassembler [-csv] [-workers N] <experiment>")
+	fmt.Fprintln(w, "experiments: fig2b fig3a fig3b table1 area fig9 fig10 fig11 faults ksweep sens stream engines all")
+	fmt.Fprintln(w, "exit codes: 0 success; 2 usage error (bad flag, unknown experiment, no CSV form)")
 }

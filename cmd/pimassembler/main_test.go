@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes is the flag-error regression table for the experiment
+// driver: every failure path returns the documented exit code with a
+// one-line stderr message.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // required substring of stderr ("" = no requirement)
+	}{
+		{"no-experiment", []string{}, exitUsage, "exactly one experiment"},
+		{"two-experiments", []string{"fig9", "fig10"}, exitUsage, "exactly one experiment"},
+		{"bad-flag", []string{"-no-such-flag", "fig9"}, exitUsage, "flag provided but not defined"},
+		{"bad-flag-value", []string{"-workers", "banana", "fig9"}, exitUsage, "invalid value"},
+		{"unknown-experiment", []string{"frobnicate"}, exitUsage, "unknown experiment"},
+		{"csv-unsupported", []string{"-csv", "frobnicate"}, exitUsage, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("stderr %q lacks %q", stderr.String(), tc.stderr)
+			}
+			if tc.code != exitOK && !strings.Contains(stderr.String(), "exit codes:") {
+				t.Fatalf("usage text lacks exit-code documentation: %s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunRendersExperiment pins one fast happy path end to end.
+func TestRunRendersExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"area"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Fatal("experiment rendered nothing")
+	}
+}
+
+// TestRunRendersCSV pins the CSV path.
+func TestRunRendersCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-csv", "fig3b"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), ",") {
+		t.Fatalf("CSV output lacks commas:\n%s", stdout.String())
+	}
+}

@@ -83,7 +83,7 @@ func (e analyticalEngine) Assemble(ctx context.Context, reads []*genome.Sequence
 	if err := rep.Counts.Validate(); err != nil {
 		return nil, fmt.Errorf("engine %s: %w", e.name, err)
 	}
-	cost := perfmodel.AssemblyCost(e.spec, *rep.Counts)
+	cost := cachedAssemblyCost(e.spec, *rep.Counts)
 	rep.Cost = &cost
 	score(rep, opts)
 	return rep, nil
@@ -99,7 +99,7 @@ func EstimateAll(counts assembly.OpCounts) []perfmodel.StageCost {
 		if !ok {
 			continue
 		}
-		out = append(out, perfmodel.AssemblyCost(a.spec, counts))
+		out = append(out, cachedAssemblyCost(a.spec, counts))
 	}
 	return out
 }

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"sync"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/perfmodel"
+	"pimassembler/internal/platforms"
+)
+
+// The cost cache memoizes perfmodel.AssemblyCost per (Spec, OpCounts)
+// behind the analytical engines (ROADMAP: sweep-heavy callers — ksweep,
+// Fig. 9/10/11 re-renders, batch manifests — price the same profile on the
+// same platform over and over). Both key halves are flat comparable
+// structs, so the pair is a valid map key and two equal keys price
+// identically by construction; the cached value is returned by value, so
+// callers can never mutate a cached entry.
+type costKey struct {
+	spec   platforms.Spec
+	counts assembly.OpCounts
+}
+
+var costCache = struct {
+	sync.Mutex
+	enabled      bool
+	entries      map[costKey]perfmodel.StageCost
+	hits, misses int64
+}{enabled: true, entries: make(map[costKey]perfmodel.StageCost)}
+
+// cachedAssemblyCost is the analytical engines' pricing entry point:
+// perfmodel.AssemblyCost with memoization (when enabled).
+func cachedAssemblyCost(s platforms.Spec, c assembly.OpCounts) perfmodel.StageCost {
+	costCache.Lock()
+	if !costCache.enabled {
+		costCache.Unlock()
+		return perfmodel.AssemblyCost(s, c)
+	}
+	key := costKey{spec: s, counts: c}
+	if cost, ok := costCache.entries[key]; ok {
+		costCache.hits++
+		costCache.Unlock()
+		return cost
+	}
+	costCache.misses++
+	costCache.Unlock()
+
+	// Price outside the lock: AssemblyCost is pure, so a racing duplicate
+	// computation is wasted work at worst, never a wrong answer.
+	cost := perfmodel.AssemblyCost(s, c)
+
+	costCache.Lock()
+	if costCache.enabled {
+		costCache.entries[key] = cost
+	}
+	costCache.Unlock()
+	return cost
+}
+
+// SetCostCaching toggles the analytical cost cache (on by default) and
+// returns the previous setting. Disabling clears the cache, so a
+// subsequent enable starts cold — the caching-on/off equivalence test
+// relies on this.
+func SetCostCaching(on bool) bool {
+	costCache.Lock()
+	defer costCache.Unlock()
+	prev := costCache.enabled
+	costCache.enabled = on
+	if !on {
+		costCache.entries = make(map[costKey]perfmodel.StageCost)
+	}
+	return prev
+}
+
+// ResetCostCache drops every cached entry and zeroes the hit/miss stats.
+func ResetCostCache() {
+	costCache.Lock()
+	defer costCache.Unlock()
+	costCache.entries = make(map[costKey]perfmodel.StageCost)
+	costCache.hits, costCache.misses = 0, 0
+}
+
+// CostCacheStats returns the cumulative hit/miss counts since the last
+// ResetCostCache.
+func CostCacheStats() (hits, misses int64) {
+	costCache.Lock()
+	defer costCache.Unlock()
+	return costCache.hits, costCache.misses
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/perfmodel"
+	"pimassembler/internal/platforms"
+)
+
+// TestCostCacheHits pins the memoization behaviour: the first pricing of a
+// (Spec, OpCounts) pair misses, every repeat hits, and a different key
+// misses again.
+func TestCostCacheHits(t *testing.T) {
+	defer SetCostCaching(SetCostCaching(true))
+	ResetCostCache()
+	defer ResetCostCache()
+
+	counts := assembly.PaperOpCounts(genome.PaperChr14(), 16)
+	spec := platforms.PIMAssembler()
+
+	first := cachedAssemblyCost(spec, counts)
+	if hits, misses := CostCacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first pricing: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	for i := 0; i < 3; i++ {
+		if got := cachedAssemblyCost(spec, counts); got != first {
+			t.Fatalf("cached cost diverged: %+v vs %+v", got, first)
+		}
+	}
+	if hits, misses := CostCacheStats(); hits != 3 || misses != 1 {
+		t.Fatalf("after repeats: hits=%d misses=%d, want 3/1", hits, misses)
+	}
+	if got, want := first, perfmodel.AssemblyCost(spec, counts); got != want {
+		t.Fatalf("cached cost %+v != direct %+v", got, want)
+	}
+
+	// A different k is a different key.
+	other := assembly.PaperOpCounts(genome.PaperChr14(), 32)
+	cachedAssemblyCost(spec, other)
+	if hits, misses := CostCacheStats(); hits != 3 || misses != 2 {
+		t.Fatalf("after new key: hits=%d misses=%d, want 3/2", hits, misses)
+	}
+	// So is a different platform with the same counts.
+	cachedAssemblyCost(platforms.DRISA3T1C(), counts)
+	if hits, misses := CostCacheStats(); hits != 3 || misses != 3 {
+		t.Fatalf("after new spec: hits=%d misses=%d, want 3/3", hits, misses)
+	}
+}
+
+// TestCostCacheReportsIdentical pins that an analytical engine produces
+// identical Reports with caching on and off, on both the counts-only and
+// the measured-run paths.
+func TestCostCacheReportsIdentical(t *testing.T) {
+	eng, err := Lookup("drisa-3t1c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := assembly.PaperOpCounts(genome.PaperChr14(), 22)
+	_, reads := conformanceWorkload()
+	ctx := context.Background()
+
+	run := func(opts Options) *Report {
+		t.Helper()
+		rep, err := eng.Assemble(ctx, reads, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	for name, opts := range map[string]Options{
+		"counts-only":  {Counts: &counts},
+		"measured-run": {Options: assembly.Options{K: 16}},
+	} {
+		prev := SetCostCaching(false)
+		ResetCostCache()
+		uncached := run(opts)
+		SetCostCaching(true)
+		warm := run(opts) // populates the cache
+		cached := run(opts)
+		if hits, _ := CostCacheStats(); hits < 1 {
+			t.Errorf("%s: expected at least one cache hit", name)
+		}
+		SetCostCaching(prev)
+
+		for variant, rep := range map[string]*Report{"warm": warm, "cached": cached} {
+			if !reflect.DeepEqual(rep, uncached) {
+				t.Errorf("%s/%s: Report differs between caching on and off", name, variant)
+			}
+		}
+	}
+}
+
+// TestSetCostCachingDisableClears pins that disabling drops cached entries.
+func TestSetCostCachingDisableClears(t *testing.T) {
+	defer SetCostCaching(SetCostCaching(true))
+	ResetCostCache()
+	defer ResetCostCache()
+
+	counts := assembly.PaperOpCounts(genome.PaperChr14(), 26)
+	spec := platforms.PIMAssembler()
+	cachedAssemblyCost(spec, counts)
+	SetCostCaching(false)
+	SetCostCaching(true)
+	ResetCostCache()
+	cachedAssemblyCost(spec, counts)
+	if hits, misses := CostCacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("cache survived disable: hits=%d misses=%d", hits, misses)
+	}
+}

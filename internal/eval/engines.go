@@ -8,6 +8,7 @@ import (
 	"pimassembler/internal/assembly"
 	"pimassembler/internal/debruijn"
 	"pimassembler/internal/engine"
+	"pimassembler/internal/jobqueue"
 	"pimassembler/internal/parallel"
 )
 
@@ -38,36 +39,45 @@ type EngineRow struct {
 
 // CrossEngine runs every registered engine on the shared stream workload
 // (150 reads × 101 bp, k = 16) and compares each contig set byte-for-byte
-// against the software reference. Engines run concurrently through the
-// deterministic pool — each run owns its platform and RNG-free inputs, and
-// rows land in registry order — so the result is bit-identical for any
-// worker count.
+// against the software reference. The experiment is a thin client of the
+// assembly job queue: one job per engine, dispatched onto the bounded
+// worker pool, results in registry-slot order — so the result is
+// bit-identical for any worker count.
 func CrossEngine() []EngineRow {
 	reads := streamWorkload()
 	opts := engine.Options{Options: assembly.Options{K: 16}, Subarrays: 16}
 
-	baselineEng, err := engine.Lookup("software")
-	if err != nil {
-		panic(err)
+	names := engine.Names()
+	specs := make([]jobqueue.Spec, len(names))
+	for i, name := range names {
+		specs[i] = jobqueue.Spec{Name: name, Engine: name, Reads: reads, Opts: opts}
 	}
-	baseline, err := baselineEng.Assemble(context.Background(), reads, opts)
-	if err != nil {
-		panic(err)
+	q := jobqueue.New(engine.Default(), jobqueue.WithWorkers(parallel.Workers()))
+	results := q.Run(context.Background(), specs)
+
+	// The software reference is always the registry's first engine; its
+	// contigs are the baseline of the Identical column.
+	var baseline []debruijn.Contig
+	for _, r := range results {
+		if r.Spec.Engine == "software" && r.Report != nil {
+			baseline = r.Report.Contigs
+			break
+		}
 	}
 
-	engines := engine.Engines()
-	return parallel.Map(len(engines), func(i int) EngineRow {
-		e := engines[i]
-		row := EngineRow{Name: e.Name()}
-		rep, err := e.Assemble(context.Background(), reads, opts)
-		if err != nil {
-			row.Err = err.Error()
-			return row
+	rows := make([]EngineRow, len(results))
+	for i, r := range results {
+		row := EngineRow{Name: r.Spec.Name}
+		if r.Err != nil {
+			row.Err = r.Err.Error()
+			rows[i] = row
+			continue
 		}
+		rep := r.Report
 		row.Family = rep.Family.String()
 		row.Contigs = len(rep.Contigs)
 		row.N50 = debruijn.N50(rep.Contigs)
-		row.Identical = contigsEqual(baseline.Contigs, rep.Contigs)
+		row.Identical = contigsEqual(baseline, rep.Contigs)
 		if rep.Functional != nil {
 			row.Commands = rep.Functional.Commands
 			row.MakespanNS = rep.Functional.Makespan.MakespanNS
@@ -77,8 +87,9 @@ func CrossEngine() []EngineRow {
 			row.ModelTotalS = rep.Cost.TotalS()
 			row.ModelPowerW = rep.Cost.PowerW
 		}
-		return row
-	})
+		rows[i] = row
+	}
+	return rows
 }
 
 // contigsEqual reports byte-identical contig sets.

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LatencySummary aggregates the observations of one named latency series:
+// count, total, and the extremes. It is a value snapshot — mutate it only
+// through Counters.Observe.
+type LatencySummary struct {
+	Count int64
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average observed latency (0 with no observations).
+func (l LatencySummary) Mean() time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.Total / time.Duration(l.Count)
+}
+
+// String implements fmt.Stringer.
+func (l LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", l.Count, l.Mean(), l.Min, l.Max)
+}
+
+// Counters is a small race-safe instrumentation registry: named monotonic
+// counters plus named latency series. The job queue (and any other
+// subsystem) reports through one; consumers read deterministic snapshots.
+// Counter values are deterministic for a deterministic workload; latency
+// values are wall-clock and must never feed deterministic output paths.
+// The zero value is not usable — construct with NewCounters.
+type Counters struct {
+	mu     sync.Mutex
+	counts map[string]int64
+	lats   map[string]LatencySummary
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{
+		counts: make(map[string]int64),
+		lats:   make(map[string]LatencySummary),
+	}
+}
+
+// Add increments the named counter by delta (creating it at zero first).
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.counts[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value (0 when never written).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Observe folds one duration into the named latency series.
+func (c *Counters) Observe(name string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.lats[name]
+	if l.Count == 0 || d < l.Min {
+		l.Min = d
+	}
+	if d > l.Max {
+		l.Max = d
+	}
+	l.Count++
+	l.Total += d
+	c.lats[name] = l
+}
+
+// Latency returns a snapshot of the named latency series (zero value when
+// never observed).
+func (c *Counters) Latency(name string) LatencySummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lats[name]
+}
+
+// Snapshot returns every counter value, keyed by name.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders every counter and latency series, sorted by name, one per
+// line — stable for a fixed set of values.
+func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&sb, "%-24s %d\n", k, c.counts[k])
+	}
+	lnames := make([]string, 0, len(c.lats))
+	for k := range c.lats {
+		lnames = append(lnames, k)
+	}
+	sort.Strings(lnames)
+	for _, k := range lnames {
+		fmt.Fprintf(&sb, "%-24s %s\n", k, c.lats[k])
+	}
+	return sb.String()
+}
