@@ -8,9 +8,9 @@ GO ?= go
 # -short so the race pass exercises the harness — including the concurrent
 # cross-engine comparison experiment — without repeating the full
 # multi-second golden runs.
-RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/jobqueue/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/subarray/...
+RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/jobqueue/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/shard/... ./internal/subarray/...
 
-.PHONY: all check ci fmt-check build vet test test-race bench reproduce examples clean
+.PHONY: all check ci fmt-check build vet test test-race fuzz-smoke bench reproduce examples clean
 
 all: check
 
@@ -34,6 +34,18 @@ test-race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -short ./internal/eval/...
 
+# Short fuzzing pass over every ingestion fuzz target (Go runs one target
+# per -fuzz invocation, so this loops over `go test -list`). FUZZTIME=10s
+# is the CI smoke budget; raise it locally for a real hunt.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	@targets=$$($(GO) test ./internal/genome -list '^Fuzz' | grep '^Fuzz'); \
+	for f in $$targets; do \
+		echo "fuzz $$f ($(FUZZTIME))"; \
+		$(GO) test ./internal/genome -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
 # Root benchmark suite, recorded as a tracked JSON artefact
 # (benchmark name -> iterations + every value/unit pair). BENCHTIME=1x is
 # the CI smoke mode: every benchmark runs once, proving the benchjson
@@ -46,10 +58,11 @@ bench:
 	@echo "wrote $(BENCH_OUT)"
 
 # The full local gate, one-to-one with .github/workflows/ci.yml: the check
-# suite plus the bench smoke run. Keep the two in sync — CI must run
-# exactly these commands.
+# suite, the ingestion fuzz smoke, and the bench smoke run. Keep the two in
+# sync — CI must run exactly these commands.
 ci:
 	$(MAKE) check
+	$(MAKE) fuzz-smoke
 	$(MAKE) bench BENCH_OUT=/tmp/bench.json BENCHTIME=1x
 
 # Regenerate every paper table and figure (text + CSV for the plottable ones).
@@ -68,6 +81,7 @@ examples:
 	$(GO) run ./examples/assembly
 	$(GO) run ./examples/reliability
 	$(GO) run ./examples/jobqueue
+	$(GO) run ./examples/shard
 
 clean:
 	rm -rf out xnor_transient.csv

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	assemble -in reads.fasta -k 16 -out contigs.fasta [-engine pim] [-scaffold] [-estimate]
+//	assemble -in reads.fasta -shards 4 [-shard-engines software,pim]
 //	assemble -batch jobs.manifest [-workers 4]
 //	assemble -list-engines
 //
@@ -28,6 +29,7 @@ import (
 	"pimassembler/internal/engine"
 	"pimassembler/internal/genome"
 	workerpool "pimassembler/internal/parallel"
+	"pimassembler/internal/shard"
 )
 
 // Exit codes, documented in -h output.
@@ -64,9 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		insert     = fs.Int("insert", 400, "paired mode: mean library insert size")
 		workers    = fs.Int("workers", 0, "worker count for parallel stages and the batch job queue (0 = GOMAXPROCS); results are bit-identical for any value")
 		batch      = fs.String("batch", "", "run a manifest of jobs through the concurrent queue (one '<input> <engine> [key=value ...]' per line)")
+		shards     = fs.Int("shards", 0, "split the reads into N deterministic shards and merge (0 = unsharded; output is invariant in N)")
+		shardEng   = fs.String("shard-engines", "", "comma-separated engine list assigned to shards round-robin (requires -shards; default: -engine)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: assemble -in reads.fasta [flags]")
+		fmt.Fprintln(stderr, "       assemble -in reads.fasta -shards N [-shard-engines a,b,c] [flags]")
 		fmt.Fprintln(stderr, "       assemble -batch jobs.manifest [flags]")
 		fmt.Fprintln(stderr, "       assemble -list-engines")
 		fmt.Fprintln(stderr, "\nexit codes: 0 success; 1 run or batch-job failure; 2 usage error")
@@ -105,7 +110,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "assemble: -batch and -in are mutually exclusive")
 			return exitUsage
 		}
+		if *shards > 0 {
+			fmt.Fprintln(stderr, "assemble: -batch and -shards are mutually exclusive")
+			return exitUsage
+		}
 		return runBatch(*batch, *engineName, defaults, *workers, stdout, stderr)
+	}
+
+	if *shardEng != "" && *shards <= 0 {
+		fmt.Fprintln(stderr, "assemble: -shard-engines requires -shards")
+		return exitUsage
+	}
+	shardNames := []string{*engineName}
+	if *shardEng != "" {
+		shardNames = strings.Split(*shardEng, ",")
+		for i, name := range shardNames {
+			shardNames[i] = strings.TrimSpace(name)
+		}
+	}
+	if *shards > 0 {
+		// Engine-name typos are usage errors, caught before any work runs.
+		for _, name := range shardNames {
+			if _, err := engine.Lookup(name); err != nil {
+				fmt.Fprintln(stderr, "assemble:", err)
+				return exitUsage
+			}
+		}
 	}
 
 	if *in == "" {
@@ -149,13 +179,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Ref = refRecs[0].Seq
 	}
 
-	rep, err := eng.Assemble(context.Background(), reads, opts)
-	if err != nil {
-		fmt.Fprintln(stderr, "assemble:", err)
-		return exitRuntime
+	var rep *engine.Report
+	if *shards > 0 {
+		res, err := shard.Assemble(context.Background(), reads, shard.Plan{
+			Shards:  *shards,
+			Engines: shardNames,
+			Opts:    opts,
+			Workers: *workers,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "assemble:", err)
+			return exitRuntime
+		}
+		rep = res.Report
+		if len(res.PerShard) > 1 {
+			shardReport(stdout, res)
+		} else {
+			// One shard is the identity merge: same report, same output,
+			// byte for byte, as the unsharded run.
+			report(stdout, rep, *parallel)
+		}
+	} else {
+		rep, err = eng.Assemble(context.Background(), reads, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "assemble:", err)
+			return exitRuntime
+		}
+		report(stdout, rep, *parallel)
 	}
 	contigs := rep.Contigs
-	report(stdout, rep, *parallel)
 
 	records := make([]genome.Record, len(contigs))
 	for i, c := range contigs {
@@ -204,6 +256,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitOK
 }
 
+// shardReport prints the per-shard breakdown and the cross-shard aggregates
+// of a multi-shard run.
+func shardReport(w io.Writer, res *shard.Result) {
+	fmt.Fprintf(w, "sharded run: %d shards -> %s\n", len(res.PerShard), res.Report.Engine)
+	for i, sr := range res.PerShard {
+		var nreads int64
+		if sr.Counts != nil {
+			nreads = sr.Counts.ReadCount
+		}
+		fmt.Fprintf(w, "  shard %d: engine %-14s %5d reads, %d contigs\n",
+			i, res.Engines[i], nreads, len(sr.Contigs))
+	}
+	if res.Commands > 0 {
+		fmt.Fprintf(w, "  functional shards: %d commands, %.2f µJ array energy (sum), makespan %.2f ms (max over shards)\n",
+			res.Commands, res.EnergyPJ/1e6, res.MakespanNS/1e6)
+	}
+	if res.CostTotalS > 0 {
+		fmt.Fprintf(w, "  analytical shards: %.3g s modeled time (max over shards), %.3g J modeled energy (sum)\n",
+			res.CostTotalS, res.CostEnergyJ)
+	}
+}
+
 // report prints the engine-family-specific accounting of the run.
 func report(w io.Writer, rep *engine.Report, parallel bool) {
 	switch {
@@ -240,20 +314,33 @@ func loadRecords(path string) ([]genome.Record, error) {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".fastq") || strings.HasSuffix(path, ".fq") {
-		return genome.ReadFASTQ(f)
-	}
-	return genome.ReadFASTA(f)
-}
-
-func loadReads(path string) ([]*genome.Sequence, error) {
-	records, err := loadRecords(path)
+	var records []genome.Record
+	err = genome.ScanRecords(f, genome.DetectFormat(path), func(r genome.Record) error {
+		records = append(records, r)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	reads := make([]*genome.Sequence, len(records))
-	for i, r := range records {
-		reads[i] = r.Seq
+	return records, nil
+}
+
+// loadReads streams the input one record at a time — only the packed 2-bit
+// sequences are retained, so ingestion memory is bounded by the scanner
+// buffer plus the encoded reads, never the text form of the whole file.
+func loadReads(path string) ([]*genome.Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var reads []*genome.Sequence
+	err = genome.ScanRecords(f, genome.DetectFormat(path), func(r genome.Record) error {
+		reads = append(reads, r.Seq)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return reads, nil
 }

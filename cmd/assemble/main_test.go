@@ -63,6 +63,9 @@ func TestRunExitCodes(t *testing.T) {
 		{"batch-missing-manifest", []string{"-batch", filepath.Join(dir, "nope.manifest")}, exitUsage, "no such file"},
 		{"batch-malformed-manifest", []string{"-batch", badManifest}, exitUsage, "k:"},
 		{"batch-empty-manifest", []string{"-batch", emptyManifest}, exitUsage, "holds no jobs"},
+		{"batch-and-shards", []string{"-batch", emptyManifest, "-shards", "2"}, exitUsage, "mutually exclusive"},
+		{"shard-engines-without-shards", []string{"-in", readsPath, "-shard-engines", "software,pim"}, exitUsage, "requires -shards"},
+		{"unknown-shard-engine", []string{"-in", readsPath, "-shards", "2", "-shard-engines", "software,warp-drive"}, exitUsage, "unknown engine"},
 		{"list-engines", []string{"-list-engines"}, exitOK, ""},
 	}
 	for _, tc := range cases {
@@ -95,6 +98,84 @@ func TestRunSingleJob(t *testing.T) {
 	if _, err := os.Stat(outPath); err != nil {
 		t.Fatalf("contigs not written: %v", err)
 	}
+}
+
+// TestRunSharded pins the sharded CLI mode: `-shards 1` output is
+// byte-identical to an unsharded run (stdout and the contigs file), and a
+// multi-shard multi-engine run merges to the same contigs.
+func TestRunSharded(t *testing.T) {
+	dir := t.TempDir()
+	readsPath := writeReads(t, dir, "reads.fasta", 61, 150)
+
+	runOnce := func(extra ...string) (string, string) {
+		t.Helper()
+		outPath := filepath.Join(dir, "contigs.fasta")
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-in", readsPath, "-out", outPath, "-k", "16"}, extra...)
+		if code := run(args, &stdout, &stderr); code != exitOK {
+			t.Fatalf("args %v: exit code = %d, stderr: %s", extra, code, stderr.String())
+		}
+		contigs, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String(), string(contigs)
+	}
+
+	baseOut, baseContigs := runOnce()
+	oneOut, oneContigs := runOnce("-shards", "1")
+	// The per-stage wall-clock line differs between any two runs; everything
+	// else must be byte-identical.
+	if stripClocks(oneOut) != stripClocks(baseOut) {
+		t.Errorf("-shards 1 stdout differs from unsharded:\n--- unsharded\n%s--- shards=1\n%s", baseOut, oneOut)
+	}
+	if oneContigs != baseContigs {
+		t.Error("-shards 1 contigs file differs from unsharded")
+	}
+
+	// Multi-shard runs merge to the same contig sequences; only the cov=
+	// header field differs (merged coverage counts shard multiplicity, not
+	// read depth — the documented limitation).
+	for _, args := range [][]string{
+		{"-shards", "3"},
+		{"-shards", "4", "-shard-engines", "software,pim"},
+	} {
+		out, contigs := runOnce(args...)
+		if seqLines(contigs) != seqLines(baseContigs) {
+			t.Errorf("args %v: merged contig sequences differ from unsharded", args)
+		}
+		if !strings.Contains(out, "sharded run:") {
+			t.Errorf("args %v: stdout lacks the shard breakdown:\n%s", args, out)
+		}
+		if !strings.Contains(out, "assembled 150 reads") {
+			t.Errorf("args %v: stdout lacks the summary tail:\n%s", args, out)
+		}
+	}
+}
+
+// stripClocks drops the wall-clock timing line from a run's stdout.
+func stripClocks(out string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "software pipeline:") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// seqLines strips the FASTA headers, keeping only the sequence lines.
+func seqLines(fasta string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(fasta, "\n") {
+		if !strings.HasPrefix(line, ">") {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
 }
 
 // TestRunBatchDeterministic pins the batch mode: the per-job stdout summary

@@ -39,23 +39,11 @@ func main() {
 		g = genome.GenerateGenome(*genomeLen, rng)
 	}
 
-	var records []genome.Record
-	if *paired {
-		sampler := genome.NewPairedSampler(g, *readLen, *insert, *stdInsert, *errRate, rng)
-		for i := 0; i < *reads/2; i++ {
-			p := sampler.Next()
-			records = append(records,
-				genome.Record{Name: fmt.Sprintf("read_%d/1", i), Seq: p.R1},
-				genome.Record{Name: fmt.Sprintf("read_%d/2", i), Seq: p.R2})
-		}
-	} else {
-		sampler := genome.NewReadSampler(g, *readLen, *errRate, rng)
-		for i := 0; i < *reads; i++ {
-			records = append(records, genome.Record{Name: fmt.Sprintf("read_%d", i), Seq: sampler.Next()})
-		}
-	}
-
-	if err := writeFASTA(*out, records); err != nil {
+	// Stream the reads straight to disk one record at a time: the dataset is
+	// never materialised in memory, so -reads can exceed what a slurped
+	// []Record would hold.
+	written, err := streamReads(*out, g, *reads, *readLen, *errRate, *paired, *insert, *stdInsert, rng)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "readgen:", err)
 		os.Exit(1)
 	}
@@ -66,8 +54,45 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %d reads of %d bp (genome %d bp, %.1fx coverage, paired=%v) to %s\n",
-		len(records), *readLen, *genomeLen,
-		float64(len(records))*float64(*readLen)/float64(*genomeLen), *paired, *out)
+		written, *readLen, *genomeLen,
+		float64(written)*float64(*readLen)/float64(*genomeLen), *paired, *out)
+}
+
+// streamReads samples reads and writes each record as it is drawn,
+// returning the number of records written.
+func streamReads(path string, g *genome.Sequence, reads, readLen int, errRate float64, paired bool, insert int, stdInsert float64, rng *stats.RNG) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	w := genome.NewRecordWriter(f)
+	written := 0
+	if paired {
+		sampler := genome.NewPairedSampler(g, readLen, insert, stdInsert, errRate, rng)
+		for i := 0; i < reads/2; i++ {
+			p := sampler.Next()
+			if err := w.Write(genome.Record{Name: fmt.Sprintf("read_%d/1", i), Seq: p.R1}); err != nil {
+				return written, err
+			}
+			if err := w.Write(genome.Record{Name: fmt.Sprintf("read_%d/2", i), Seq: p.R2}); err != nil {
+				return written, err
+			}
+			written += 2
+		}
+	} else {
+		sampler := genome.NewReadSampler(g, readLen, errRate, rng)
+		for i := 0; i < reads; i++ {
+			if err := w.Write(genome.Record{Name: fmt.Sprintf("read_%d", i), Seq: sampler.Next()}); err != nil {
+				return written, err
+			}
+			written++
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return written, err
+	}
+	return written, f.Sync()
 }
 
 func writeFASTA(path string, records []genome.Record) error {

@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/debruijn"
+	"pimassembler/internal/engine"
+	"pimassembler/internal/shard"
+)
+
+// ShardRow is one shard-count configuration's outcome in the E17 sweep.
+// Only deterministic quantities are recorded (no wall clocks), so the
+// experiment renders byte-identically for any worker count.
+type ShardRow struct {
+	Shards  int
+	Engines string
+	Err     string
+
+	// Merged assembly outcome.
+	Contigs int
+	N50     int
+	// Identical reports byte-identical merged contigs vs the unsharded
+	// software reference — the sweep's headline invariant.
+	Identical bool
+	// ReadCount and TotalKmers are the summed workload counts, which must
+	// be invariant in the shard count.
+	ReadCount  int64
+	TotalKmers float64
+
+	// Functional shards: commands and energy summed, makespan max.
+	Commands   int64
+	MakespanNS float64
+	EnergyPJ   float64
+}
+
+// ShardSweep assembles the shared stream workload (150 reads × 101 bp,
+// k = 16) under shard counts {1, 2, 4, 8} on the software engine, plus one
+// heterogeneous software+pim split and one all-functional split, and checks
+// every merged contig set byte-for-byte against the unsharded reference.
+func ShardSweep() []ShardRow {
+	reads := streamWorkload()
+	opts := engine.Options{Options: assembly.Options{K: 16}, Subarrays: 16}
+
+	sw, err := engine.Lookup("software")
+	if err != nil {
+		panic(err)
+	}
+	base, err := sw.Assemble(context.Background(), reads, opts)
+	if err != nil {
+		panic(err)
+	}
+
+	configs := []struct {
+		shards  int
+		engines []string
+	}{
+		{1, []string{"software"}},
+		{2, []string{"software"}},
+		{4, []string{"software"}},
+		{8, []string{"software"}},
+		{4, []string{"software", "pim"}},
+		{2, []string{"pim"}},
+	}
+	rows := make([]ShardRow, len(configs))
+	for i, cfg := range configs {
+		row := ShardRow{Shards: cfg.shards, Engines: joinNames(cfg.engines)}
+		res, err := shard.Assemble(context.Background(), reads, shard.Plan{
+			Shards: cfg.shards, Engines: cfg.engines, Opts: opts,
+		})
+		if err != nil {
+			row.Err = err.Error()
+			rows[i] = row
+			continue
+		}
+		rep := res.Report
+		row.Contigs = len(rep.Contigs)
+		row.N50 = debruijn.N50(rep.Contigs)
+		row.Identical = contigsEqual(base.Contigs, rep.Contigs)
+		if rep.Counts != nil {
+			row.ReadCount = rep.Counts.ReadCount
+			row.TotalKmers = rep.Counts.TotalKmers
+		}
+		row.Commands = res.Commands
+		row.MakespanNS = res.MakespanNS
+		row.EnergyPJ = res.EnergyPJ
+		rows[i] = row
+	}
+	return rows
+}
+
+// joinNames formats an engine list for the sweep table.
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}
+
+// RenderShards writes E17 — the shard-count sweep: merged contigs checked
+// against the unsharded reference at every shard count, summed workload
+// counts shown invariant, and the functional shards' parallel makespan.
+func RenderShards(w io.Writer) {
+	fmt.Fprintln(w, "E17 — shard-count sweep: sharded multi-engine assembly vs the unsharded reference")
+	fmt.Fprintln(w, "(150 reads x 101 bp, k=16; merged contigs byte-checked against shards=1 software)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %-6s %-14s %7s %6s %10s %7s %12s %12s\n",
+		"shards", "engines", "contigs", "N50", "identical", "reads", "kmers", "makespan")
+	for _, r := range ShardSweep() {
+		if r.Err != "" {
+			fmt.Fprintf(w, "  %-6d %-14s ERROR %s\n", r.Shards, r.Engines, r.Err)
+			continue
+		}
+		makespan := "-"
+		if r.Commands > 0 {
+			makespan = fmt.Sprintf("%.1f µs", r.MakespanNS/1e3)
+		}
+		fmt.Fprintf(w, "  %-6d %-14s %7d %6d %10v %7d %12.0f %12s\n",
+			r.Shards, r.Engines, r.Contigs, r.N50, r.Identical, r.ReadCount, r.TotalKmers, makespan)
+	}
+	fmt.Fprintln(w, "\n  invariants: identical=true on every row; reads and kmers constant across rows")
+	fmt.Fprintln(w, "  (merge algebra: shard contigs spell exactly the shard's k-mer set, so the")
+	fmt.Fprintln(w, "  merged de Bruijn graph is the union graph — see DESIGN.md §12)")
+}

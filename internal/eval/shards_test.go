@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestShardSweepInvariants pins E17's headline claims: every configuration
+// merges to contigs identical to the unsharded reference, and the summed
+// workload counts do not depend on the shard count or engine mix.
+func TestShardSweepInvariants(t *testing.T) {
+	rows := ShardSweep()
+	if len(rows) != 6 {
+		t.Fatalf("got %d sweep rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("shards=%d engines=%s: %s", r.Shards, r.Engines, r.Err)
+		}
+		if !r.Identical {
+			t.Errorf("shards=%d engines=%s: merged contigs differ from the unsharded reference", r.Shards, r.Engines)
+		}
+		if r.ReadCount != rows[0].ReadCount {
+			t.Errorf("shards=%d: ReadCount %d, want %d", r.Shards, r.ReadCount, rows[0].ReadCount)
+		}
+		if r.TotalKmers != rows[0].TotalKmers {
+			t.Errorf("shards=%d: TotalKmers %.0f, want %.0f", r.Shards, r.TotalKmers, rows[0].TotalKmers)
+		}
+	}
+	// The functional configurations carry command-stream aggregates; the
+	// software-only ones must not.
+	for _, r := range rows {
+		functional := strings.Contains(r.Engines, "pim")
+		if functional && (r.Commands <= 0 || r.MakespanNS <= 0 || r.EnergyPJ <= 0) {
+			t.Errorf("shards=%d engines=%s: functional aggregates missing", r.Shards, r.Engines)
+		}
+		if !functional && r.Commands != 0 {
+			t.Errorf("shards=%d engines=%s: unexpected functional commands %d", r.Shards, r.Engines, r.Commands)
+		}
+	}
+}
+
+func TestRenderShardsMarkers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderShards(&buf)
+	out := buf.String()
+	for _, marker := range []string{"E17", "shard-count sweep", "software+pim", "identical", "DESIGN.md §12"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("RenderShards output missing %q", marker)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Error("RenderShards reports a non-identical merge")
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Error("RenderShards reports a failed configuration")
+	}
+}

@@ -1,10 +1,7 @@
 package genome
 
 import (
-	"bufio"
-	"fmt"
 	"io"
-	"strings"
 )
 
 // Record is one named sequence from a FASTA or FASTQ stream.
@@ -13,55 +10,31 @@ type Record struct {
 	Seq  *Sequence
 }
 
-// ReadFASTA parses all records from a FASTA stream. Bases other than
-// A/C/G/T (e.g. N) are rejected: the assembler's 2-bit pipeline has no
-// ambiguity code, matching the paper's preprocessing, which samples reads
-// from the non-ambiguous portion of chromosome 14.
+// ReadFASTA parses all records from a FASTA stream — a slurping wrapper over
+// the streaming Scanner; prefer ScanRecords for inputs that should not be
+// held in memory at once. Bases other than A/C/G/T (e.g. N) are rejected:
+// the assembler's 2-bit pipeline has no ambiguity code, matching the paper's
+// preprocessing, which samples reads from the non-ambiguous portion of
+// chromosome 14.
 func ReadFASTA(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var (
-		records []Record
-		name    string
-		sb      strings.Builder
-		started bool
-	)
-	flush := func() error {
-		if !started {
-			return nil
-		}
-		seq, err := FromString(sb.String())
-		if err != nil {
-			return fmt.Errorf("genome: record %q: %w", name, err)
-		}
-		records = append(records, Record{Name: name, Seq: seq})
-		sb.Reset()
+	return readAll(r, FormatFASTA)
+}
+
+// ReadFASTQ parses all records from a FASTQ stream, discarding quality
+// strings (the assembler, like the paper's, treats reads as exact) after
+// checking they match the sequence length. A slurping wrapper over the
+// streaming Scanner.
+func ReadFASTQ(r io.Reader) ([]Record, error) {
+	return readAll(r, FormatFASTQ)
+}
+
+func readAll(r io.Reader, format Format) ([]Record, error) {
+	var records []Record
+	err := ScanRecords(r, format, func(rec Record) error {
+		records = append(records, rec)
 		return nil
-	}
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		switch {
-		case text == "":
-			continue
-		case strings.HasPrefix(text, ">"):
-			if err := flush(); err != nil {
-				return nil, err
-			}
-			name = strings.TrimSpace(text[1:])
-			started = true
-		default:
-			if !started {
-				return nil, fmt.Errorf("genome: line %d: sequence data before first header", line)
-			}
-			sb.WriteString(text)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if err := flush(); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
 	return records, nil
@@ -69,73 +42,11 @@ func ReadFASTA(r io.Reader) ([]Record, error) {
 
 // WriteFASTA writes records in FASTA format with 70-column wrapping.
 func WriteFASTA(w io.Writer, records []Record) error {
-	bw := bufio.NewWriter(w)
+	rw := NewRecordWriter(w)
 	for _, rec := range records {
-		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+		if err := rw.Write(rec); err != nil {
 			return err
 		}
-		s := rec.Seq.String()
-		for len(s) > 0 {
-			n := 70
-			if len(s) < n {
-				n = len(s)
-			}
-			if _, err := bw.WriteString(s[:n]); err != nil {
-				return err
-			}
-			if err := bw.WriteByte('\n'); err != nil {
-				return err
-			}
-			s = s[n:]
-		}
 	}
-	return bw.Flush()
-}
-
-// ReadFASTQ parses all records from a FASTQ stream, discarding quality
-// strings (the assembler, like the paper's, treats reads as exact).
-func ReadFASTQ(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var records []Record
-	line := 0
-	next := func() (string, bool) {
-		for sc.Scan() {
-			line++
-			t := strings.TrimSpace(sc.Text())
-			if t != "" {
-				return t, true
-			}
-		}
-		return "", false
-	}
-	for {
-		header, ok := next()
-		if !ok {
-			break
-		}
-		if !strings.HasPrefix(header, "@") {
-			return nil, fmt.Errorf("genome: line %d: expected @header, got %q", line, header)
-		}
-		seqText, ok := next()
-		if !ok {
-			return nil, fmt.Errorf("genome: line %d: truncated record %q", line, header)
-		}
-		plus, ok := next()
-		if !ok || !strings.HasPrefix(plus, "+") {
-			return nil, fmt.Errorf("genome: line %d: expected + separator", line)
-		}
-		if _, ok := next(); !ok {
-			return nil, fmt.Errorf("genome: line %d: missing quality line", line)
-		}
-		seq, err := FromString(seqText)
-		if err != nil {
-			return nil, fmt.Errorf("genome: record %q: %w", header, err)
-		}
-		records = append(records, Record{Name: strings.TrimPrefix(header, "@"), Seq: seq})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return records, nil
+	return rw.Flush()
 }

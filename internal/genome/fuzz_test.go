@@ -28,7 +28,7 @@ func FuzzFromString(f *testing.F) {
 func FuzzReadFASTA(f *testing.F) {
 	for _, seed := range []string{
 		"", ">x\nACGT\n", ">a\nAC\nGT\n>b\nTTTT\n", "ACGT\n", ">only header\n",
-		">x\nACGN\n", ">\n\n>\n",
+		">x\nACGN\n", ">\n\n>\n", ">crlf\r\nACGT\r\n", ">x\nACGT", // no final newline
 	} {
 		f.Add(seed)
 	}
@@ -42,12 +42,33 @@ func FuzzReadFASTA(f *testing.F) {
 				t.Fatal("record with nil sequence")
 			}
 		}
+		// The streaming scanner IS the parser; a second pass must agree
+		// with itself (same record count, same bytes).
+		again, err := ReadFASTA(strings.NewReader(s))
+		if err != nil || len(again) != len(recs) {
+			t.Fatalf("reparse diverged: %v, %d vs %d records", err, len(again), len(recs))
+		}
 	})
 }
 
+// FuzzReadFASTQ drives the four-line parser through the malformed shapes
+// real FASTQ emitters produce: quality lines shorter/longer than the
+// sequence, bare and annotated '+' separators, CRLF endings, blank-line
+// padding, and records truncated at every one of the four lines.
 func FuzzReadFASTQ(f *testing.F) {
 	for _, seed := range []string{
 		"", "@r\nACGT\n+\nIIII\n", "@r\nACGT\n", "garbage", "@r\nACGT\nIIII\nIIII\n",
+		"@r\nACGT\n+\nII\n",               // quality shorter than sequence
+		"@r\nACGT\n+\nIIIIII\n",           // quality longer than sequence
+		"@r\nACGT\n+r comment\nIIII\n",    // annotated separator
+		"@r\r\nACGT\r\n+\r\nIIII\r\n",     // CRLF line endings
+		"@r\n\nACGT\n\n+\n\nIIII\n",       // blank-line padding
+		"@r\nACGT\n+\nIIII\n@r2\nAC\n+\n", // truncated final record (no quality)
+		"@r\nACGT\n+\nIIII\n@r2\nAC\n",    // truncated final record (no separator)
+		"@r\nACGT\n+\nIIII\n@r2\n",        // truncated final record (no sequence)
+		"@r\nACGT\n+\nIIII\n@r2",          // truncated final record (header only)
+		"@r\nACGT\n+\n@@@@\n",             // quality that looks like a header
+		"@@0\nAA\n+\n00\n",                // name itself starting with '@' (fuzzer find)
 	} {
 		f.Add(seed)
 	}
@@ -59,6 +80,56 @@ func FuzzReadFASTQ(f *testing.F) {
 		for _, r := range recs {
 			if r.Seq == nil {
 				t.Fatal("record with nil sequence")
+			}
+			// Exactly one header marker is stripped (a name may itself
+			// start with '@' when the header read "@@..."), and the name
+			// never swallows a line break.
+			if strings.ContainsAny(r.Name, "\r\n") {
+				t.Fatalf("record name %q crosses a line boundary", r.Name)
+			}
+		}
+	})
+}
+
+// FuzzScanRecords cross-checks the streaming scanner against the slurping
+// wrappers on both formats: identical record sets, identical accept/reject
+// verdicts, and error messages that carry a line position.
+func FuzzScanRecords(f *testing.F) {
+	for _, seed := range []string{
+		">x\nACGT\n>y\nTT\n", "@r\nACGT\n+\nIIII\n", ">x\r\nAC\r\n", "@\n\n+\n\n", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, format := range []Format{FormatFASTA, FormatFASTQ} {
+			var streamed []Record
+			streamErr := ScanRecords(strings.NewReader(s), format, func(r Record) error {
+				streamed = append(streamed, r)
+				return nil
+			})
+			var slurped []Record
+			var slurpErr error
+			if format == FormatFASTA {
+				slurped, slurpErr = ReadFASTA(strings.NewReader(s))
+			} else {
+				slurped, slurpErr = ReadFASTQ(strings.NewReader(s))
+			}
+			if (streamErr == nil) != (slurpErr == nil) {
+				t.Fatalf("%v: stream err %v, slurp err %v", format, streamErr, slurpErr)
+			}
+			if streamErr != nil {
+				if !strings.Contains(streamErr.Error(), "line ") {
+					t.Fatalf("%v: error %q carries no line position", format, streamErr)
+				}
+				continue
+			}
+			if len(streamed) != len(slurped) {
+				t.Fatalf("%v: stream %d records, slurp %d", format, len(streamed), len(slurped))
+			}
+			for i := range slurped {
+				if streamed[i].Name != slurped[i].Name || !streamed[i].Seq.Equal(slurped[i].Seq) {
+					t.Fatalf("%v: record %d diverged", format, i)
+				}
 			}
 		}
 	})

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"pimassembler/internal/engine"
@@ -88,13 +89,25 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
-// Delay returns the backoff before attempt n (n ≥ 2).
+// Delay returns the backoff before attempt n: the base Backoff doubled per
+// further retry, saturating at MaxBackoff when set and at the maximum
+// Duration otherwise — the doubling never overflows into a negative delay,
+// however large n grows. A non-positive Backoff means no delay; n below 2
+// (the first attempt, or a nonsensical attempt number) gets the base
+// Backoff.
 func (p RetryPolicy) Delay(n int) time.Duration {
 	d := p.Backoff
+	if d <= 0 {
+		return 0
+	}
 	for i := 2; i < n; i++ {
-		d *= 2
 		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
 			return p.MaxBackoff
+		}
+		if d > math.MaxInt64/2 {
+			d = math.MaxInt64
+		} else {
+			d *= 2
 		}
 	}
 	if p.MaxBackoff > 0 && d > p.MaxBackoff {

@@ -1,0 +1,241 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/shard"
+	"pimassembler/internal/stats"
+)
+
+// workload builds a deterministic read set.
+func workload(seed uint64, genomeLen, readLen, n int, errRate float64) []*genome.Sequence {
+	rng := stats.NewRNG(seed)
+	ref := genome.GenerateGenome(genomeLen, rng)
+	return genome.NewReadSampler(ref, readLen, errRate, rng).Sample(n)
+}
+
+func TestSplit(t *testing.T) {
+	reads := workload(1, 500, 40, 10, 0)
+	cases := []struct {
+		n     int
+		sizes []int
+	}{
+		{1, []int{10}},
+		{3, []int{3, 3, 4}},
+		{4, []int{2, 3, 2, 3}},
+		{10, []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+		{25, []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}}, // clamped to len(reads)
+		{0, []int{10}},                            // clamped to 1
+		{-2, []int{10}},
+	}
+	for _, c := range cases {
+		got := shard.Split(reads, c.n)
+		if len(got) != len(c.sizes) {
+			t.Fatalf("Split(%d): %d shards, want %d", c.n, len(got), len(c.sizes))
+		}
+		total := 0
+		for i, sh := range got {
+			if len(sh) != c.sizes[i] {
+				t.Errorf("Split(%d) shard %d: %d reads, want %d", c.n, i, len(sh), c.sizes[i])
+			}
+			total += len(sh)
+		}
+		if total != len(reads) {
+			t.Errorf("Split(%d) covers %d reads, want %d", c.n, total, len(reads))
+		}
+		// Concatenation in shard order is the input order (no reshuffling).
+		i := 0
+		for _, sh := range got {
+			for _, r := range sh {
+				if r != reads[i] {
+					t.Fatalf("Split(%d): read %d out of order", c.n, i)
+				}
+				i++
+			}
+		}
+	}
+	if shard.Split(nil, 4) != nil {
+		t.Error("Split of an empty read set should be nil")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := shard.Assemble(ctx, nil, shard.Plan{Shards: 2}); err == nil {
+		t.Error("no-reads run succeeded")
+	}
+	reads := workload(2, 800, 50, 20, 0)
+	if _, err := shard.Assemble(ctx, reads, shard.Plan{Shards: 2, Engines: []string{"no-such-engine"}}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	// A failing shard names its index and engine.
+	reg := engine.NewRegistry()
+	boom := errors.New("boom")
+	if err := reg.Register(failingEngine{err: boom}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := shard.Assemble(ctx, reads, shard.Plan{
+		Shards: 3, Engines: []string{"failing"}, Registry: reg,
+		Opts: engine.Options{Options: assembly.Options{K: 16}},
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the engine failure", err)
+	}
+	if !strings.Contains(err.Error(), "shard 0") || !strings.Contains(err.Error(), "failing") {
+		t.Errorf("err %q does not name the shard and engine", err)
+	}
+}
+
+type failingEngine struct{ err error }
+
+func (failingEngine) Name() string     { return "failing" }
+func (failingEngine) Describe() string { return "always fails" }
+func (e failingEngine) Assemble(context.Context, []*genome.Sequence, engine.Options) (*engine.Report, error) {
+	return nil, e.err
+}
+
+func TestAssembleCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reads := workload(3, 800, 50, 20, 0)
+	_, err := shard.Assemble(ctx, reads, shard.Plan{
+		Shards: 2, Opts: engine.Options{Options: assembly.Options{K: 16}},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestHeterogeneousEngines runs a software+functional engine mix and checks
+// the round-robin assignment, the functional aggregates, and that the
+// merged contigs still match the unsharded software reference (the
+// cross-engine conformance property extended to shards).
+func TestHeterogeneousEngines(t *testing.T) {
+	reads := workload(4, 2_000, 101, 120, 0)
+	opts := engine.Options{Options: assembly.Options{K: 16}, Subarrays: 16}
+
+	sw, err := engine.Lookup("software")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sw.Assemble(context.Background(), reads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := shard.Assemble(context.Background(), reads, shard.Plan{
+		Shards: 4, Engines: []string{"software", "pim"}, Opts: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEngines := []string{"software", "pim", "software", "pim"}
+	for i, name := range res.Engines {
+		if name != wantEngines[i] {
+			t.Errorf("shard %d engine %s, want %s", i, name, wantEngines[i])
+		}
+	}
+	if res.Commands <= 0 || res.EnergyPJ <= 0 || res.MakespanNS <= 0 {
+		t.Errorf("functional aggregates not populated: commands=%d energy=%.1f makespan=%.1f",
+			res.Commands, res.EnergyPJ, res.MakespanNS)
+	}
+	// Makespan is a max, energy a sum: the sum of per-shard makespans must
+	// be at least the recorded max.
+	var maxSeen float64
+	for _, rep := range res.PerShard {
+		if rep.Functional != nil && rep.Functional.Makespan.MakespanNS > maxSeen {
+			maxSeen = rep.Functional.Makespan.MakespanNS
+		}
+	}
+	if res.MakespanNS != maxSeen {
+		t.Errorf("MakespanNS = %.1f, want per-shard max %.1f", res.MakespanNS, maxSeen)
+	}
+	assertSameContigs(t, "heterogeneous 4-shard", base, res.Report)
+	if !strings.Contains(res.Report.Engine, "software+pim") {
+		t.Errorf("merged engine label %q", res.Report.Engine)
+	}
+}
+
+// TestAnalyticalShards: analytical engines price each shard; the merged
+// cost is max-over-shards time and summed energy, and the merged contigs
+// (produced by the analytical engines' embedded reference runs) match.
+func TestAnalyticalShards(t *testing.T) {
+	reads := workload(5, 1_500, 80, 60, 0)
+	opts := engine.Options{Options: assembly.Options{K: 16}}
+	res, err := shard.Assemble(context.Background(), reads, shard.Plan{
+		Shards: 3, Engines: []string{"pim-assembler"}, Opts: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostTotalS <= 0 || res.CostEnergyJ <= 0 {
+		t.Fatalf("analytical aggregates not populated: %.3g s, %.3g J", res.CostTotalS, res.CostEnergyJ)
+	}
+	var wantMax, wantEnergy float64
+	for _, rep := range res.PerShard {
+		if rep.Cost == nil {
+			t.Fatal("analytical shard without Cost block")
+		}
+		if tot := rep.Cost.TotalS(); tot > wantMax {
+			wantMax = tot
+		}
+		wantEnergy += rep.Cost.EnergyJ()
+	}
+	if res.CostTotalS != wantMax || res.CostEnergyJ != wantEnergy {
+		t.Errorf("cost aggregates %.6g/%.6g, want %.6g/%.6g",
+			res.CostTotalS, res.CostEnergyJ, wantMax, wantEnergy)
+	}
+}
+
+// assertSameContigs compares contig sequences (the deterministic merge
+// contract: structure, not coverage).
+func assertSameContigs(t *testing.T, label string, want, got *engine.Report) {
+	t.Helper()
+	if len(want.Contigs) != len(got.Contigs) {
+		t.Fatalf("%s: %d contigs, want %d", label, len(got.Contigs), len(want.Contigs))
+	}
+	for i := range want.Contigs {
+		if !want.Contigs[i].Seq.Equal(got.Contigs[i].Seq) {
+			t.Fatalf("%s: contig %d differs:\n got %s\nwant %s", label, i,
+				got.Contigs[i].Seq, want.Contigs[i].Seq)
+		}
+	}
+}
+
+func TestScaffoldAndQualityCarryThroughMerge(t *testing.T) {
+	rng := stats.NewRNG(6)
+	ref := genome.GenerateGenome(1_200, rng)
+	reads := genome.NewReadSampler(ref, 80, 0, rng).Sample(90)
+	opts := engine.Options{
+		Options: assembly.Options{K: 16, Scaffold: true, MinOverlap: 12},
+		Ref:     ref,
+	}
+	res, err := shard.Assemble(context.Background(), reads, shard.Plan{Shards: 3, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Scaffolds == nil {
+		t.Error("merged report lost the stage-3 scaffolds")
+	}
+	if res.Report.Quality == nil {
+		t.Error("merged report lost the quality block")
+	}
+}
+
+func ExampleSplit() {
+	reads := workload(7, 400, 40, 7, 0)
+	for i, sh := range shard.Split(reads, 3) {
+		fmt.Printf("shard %d: %d reads\n", i, len(sh))
+	}
+	// Output:
+	// shard 0: 2 reads
+	// shard 1: 2 reads
+	// shard 2: 3 reads
+}
