@@ -4,11 +4,12 @@ GO ?= go
 
 # Packages with concurrency (the parallel fan-out engine, the engine
 # registry, the stages driven through them, and everything they record
-# through); the race-detector gate runs on these. internal/eval runs with
-# -short so the race pass exercises the harness — including the concurrent
-# cross-engine comparison experiment — without repeating the full
-# multi-second golden runs.
-RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/jobqueue/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/shard/... ./internal/subarray/...
+# through) plus the data-plane packages those stages share — the dense
+# graph core, k-mer tables, and sequences; the race-detector gate runs on
+# these. internal/eval runs with -short so the race pass exercises the
+# harness — including the concurrent cross-engine comparison experiment —
+# without repeating the full multi-second golden runs.
+RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/debruijn/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/genome/... ./internal/jobqueue/... ./internal/kmer/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/shard/... ./internal/subarray/...
 
 .PHONY: all check ci fmt-check build vet test test-race fuzz-smoke bench reproduce examples clean
 
@@ -34,23 +35,27 @@ test-race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -short ./internal/eval/...
 
-# Short fuzzing pass over every ingestion fuzz target (Go runs one target
-# per -fuzz invocation, so this loops over `go test -list`). FUZZTIME=10s
-# is the CI smoke budget; raise it locally for a real hunt.
+# Short fuzzing pass over every fuzz target in FUZZ_PKGS (Go runs one
+# target per -fuzz invocation, so this loops over `go test -list` per
+# package). FUZZTIME=10s is the CI smoke budget; raise it locally for a
+# real hunt.
 FUZZTIME ?= 10s
+FUZZ_PKGS = ./internal/genome ./internal/debruijn
 
 fuzz-smoke:
-	@targets=$$($(GO) test ./internal/genome -list '^Fuzz' | grep '^Fuzz'); \
-	for f in $$targets; do \
-		echo "fuzz $$f ($(FUZZTIME))"; \
-		$(GO) test ./internal/genome -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	@for pkg in $(FUZZ_PKGS); do \
+		targets=$$($(GO) test $$pkg -list '^Fuzz' | grep '^Fuzz'); \
+		for f in $$targets; do \
+			echo "fuzz $$pkg $$f ($(FUZZTIME))"; \
+			$(GO) test $$pkg -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; \
+		done; \
 	done
 
 # Root benchmark suite, recorded as a tracked JSON artefact
 # (benchmark name -> iterations + every value/unit pair). BENCHTIME=1x is
 # the CI smoke mode: every benchmark runs once, proving the benchjson
 # artefact pipeline still parses without paying full measurement time.
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR6.json
 BENCHTIME ?= 1s
 
 bench:

@@ -16,6 +16,7 @@ import (
 	"pimassembler/internal/bitvec"
 	"pimassembler/internal/circuit"
 	"pimassembler/internal/core"
+	"pimassembler/internal/debruijn"
 	"pimassembler/internal/dram"
 	"pimassembler/internal/engine"
 	"pimassembler/internal/eval"
@@ -236,6 +237,36 @@ func BenchmarkFunctionalHashTableAdd(b *testing.B) {
 		if _, err := tbl.Add(kms[i%len(kms)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSoftwareAssembly isolates stage 2 — graph build plus traversal
+// (Euler attempt + contigs) — on the dense interned-ID/CSR core against the
+// retained map-based reference builder, at the paper's bracketing k values.
+// The allocs/op column is the PR 6 acceptance metric: dense must sit ≥5×
+// below map on the same workload.
+func BenchmarkSoftwareAssembly(b *testing.B) {
+	rng := stats.NewRNG(8)
+	ref := genome.GenerateGenome(20_000, rng)
+	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(2_000)
+	for _, k := range []int{16, 32} {
+		tbl := kmer.CountReads(reads, k)
+		b.Run(fmt.Sprintf("k%d/dense", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := debruijn.Build(tbl)
+				g.EulerPath()
+				g.Contigs()
+			}
+		})
+		b.Run(fmt.Sprintf("k%d/map", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := debruijn.BuildMap(tbl)
+				g.EulerPath()
+				g.Contigs()
+			}
+		})
 	}
 }
 

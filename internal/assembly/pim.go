@@ -73,9 +73,10 @@ func AssemblePIM(p *core.Platform, reads []*genome.Sequence, opts Options, nSuba
 		return nil, addErr
 	}
 
-	// Stage 2a: graph construction from the DRAM-resident table.
-	g := debruijn.NewGraph(opts.K)
+	// Stage 2a: graph construction from the DRAM-resident table, into the
+	// dense interned-ID/CSR graph pre-sized for the table's entry count.
 	entries := table.Entries()
+	g := debruijn.NewGraphHint(opts.K, len(entries)+1, len(entries))
 	for _, e := range entries {
 		if opts.MinCount > 1 && e.Count < opts.MinCount {
 			continue

@@ -118,11 +118,13 @@ func Assemble(reads []*genome.Sequence, opts Options) (*Result, error) {
 	res.Table = kmer.CountReads(reads, opts.K)
 	res.Timings.Hashmap = time.Since(start)
 
-	// Stage 2a: de Bruijn graph construction.
+	// Stage 2a: de Bruijn graph construction (dense interned-ID/CSR core,
+	// pre-sized from the table so the build path never regrows).
 	start = time.Now()
 	if opts.MinCount > 1 {
-		g := debruijn.NewGraph(opts.K)
-		for _, e := range res.Table.FilterMinCount(opts.MinCount) {
+		entries := res.Table.FilterMinCount(opts.MinCount)
+		g := debruijn.NewGraphHint(opts.K, len(entries)+1, len(entries))
+		for _, e := range entries {
 			g.AddKmer(e.Kmer, e.Count)
 		}
 		res.Graph = g

@@ -20,8 +20,7 @@ import (
 type GraphEngine struct {
 	platform *Platform
 	graph    *debruijn.Graph
-	nodes    []kmer.Kmer
-	index    map[kmer.Kmer]int
+	nodes    []kmer.Kmer // sorted, indexed by the graph's node rank
 
 	lanes    int            // vertices per interval (sub-array column count)
 	groups   int            // number of intervals
@@ -38,12 +37,13 @@ type GraphEngine struct {
 
 // NewGraphEngine loads g into the platform's sub-arrays and returns the
 // engine. Sub-arrays are allocated sequentially from index firstSubarray.
+// Vertex numbering is the graph's own dense node rank (sorted-ID order), so
+// no side index map is needed.
 func NewGraphEngine(p *Platform, g *debruijn.Graph, firstSubarray int) *GraphEngine {
 	e := &GraphEngine{
 		platform:   p,
 		graph:      g,
 		nodes:      g.Nodes(),
-		index:      make(map[kmer.Kmer]int),
 		lanes:      p.geom.ColsPerSubarray,
 		blockSub:   make(map[[2]int]int),
 		transSub:   make(map[[2]int]int),
@@ -53,9 +53,6 @@ func NewGraphEngine(p *Platform, g *debruijn.Graph, firstSubarray int) *GraphEng
 	e.matrixBase = 0
 	e.degreeBase = e.matrixBase + e.lanes
 	e.scratchBase = e.degreeBase + 2*e.degreeBits
-	for i, n := range e.nodes {
-		e.index[n] = i
-	}
 	e.groups = (len(e.nodes) + e.lanes - 1) / e.lanes
 	e.load()
 	return e
@@ -90,14 +87,14 @@ func (e *GraphEngine) load() {
 		}
 		return m[key]
 	}
-	for i, u := range e.nodes {
-		for _, edge := range e.graph.Out(u) {
-			j := e.index[edge.To]
-			sg, sr := i/e.lanes, i%e.lanes
+	for i, u := range e.graph.SortedIDs() {
+		sg, sr := i/e.lanes, i%e.lanes
+		e.graph.EachOutID(u, func(to int32, _ kmer.Kmer, _ uint32) {
+			j := int(e.graph.RankOfID(to))
 			dg, dl := j/e.lanes, j%e.lanes
 			ensure(rows, blockKey{sg, dg})[sr].Set(dl, true)
 			ensure(trows, blockKey{sg, dg})[dl].Set(sr, true)
-		}
+		})
 	}
 	for key, vs := range rows {
 		sub := e.platform.Subarray(e.nextSub)

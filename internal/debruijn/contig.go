@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"pimassembler/internal/genome"
-	"pimassembler/internal/kmer"
 )
 
 // Contig is one assembled contiguous sequence with its supporting evidence.
@@ -20,61 +19,71 @@ type Contig struct {
 // set of the assembly's stage 2 (Fig. 5a step 2: contigs I, II, III in the
 // worked example). A path extends through nodes with in-degree 1 and
 // out-degree 1 and stops at any branch, tip, or merge; isolated cycles are
-// emitted once each. Each distinct k-mer appears in the graph as exactly
-// one edge, so edges are identified by their k-mer.
+// emitted once each. The walk runs on node IDs with a reusable per-edge
+// used mask instead of a per-call map, and each contig's sequence is written
+// in one allocation.
 func (g *Graph) Contigs() []Contig {
+	g.finalize()
 	var contigs []Contig
-	used := make(map[kmer.Kmer]bool, g.edges)
+	used := g.scratch.ensureEdges(len(g.edgeKmer))
 
-	internal := func(n kmer.Kmer) bool {
-		return g.OutDegree(n) == 1 && g.InDegree(n) == 1
+	internal := func(id int32) bool {
+		return g.outDeg[id] == 1 && g.inDeg[id] == 1
+	}
+	// firstOut returns node id's single live out-edge (callers guarantee
+	// out-degree ≥ 1).
+	firstOut := func(id int32) int32 {
+		return g.firstLiveEdge(id, g.edgeOff[id])
 	}
 
+	walk := g.scratch.edgePath[:0]
+
 	// Paths starting at every edge that leaves a non-internal node.
-	for _, start := range g.Nodes() {
+	for _, start := range g.order {
 		if internal(start) {
 			continue
 		}
-		for _, e := range g.Out(start) {
-			if used[e.Kmer] {
+		for e := g.edgeOff[start]; e < g.edgeOff[start+1]; e++ {
+			if g.edgeDead[e] || used[e] {
 				continue
 			}
-			used[e.Kmer] = true
-			walk := []Edge{e}
-			cur := e.To
+			used[e] = true
+			walk = append(walk[:0], e)
+			cur := g.edgeTo[e]
 			for internal(cur) {
-				next := g.Out(cur)[0]
-				if used[next.Kmer] {
+				next := firstOut(cur)
+				if used[next] {
 					break
 				}
-				used[next.Kmer] = true
+				used[next] = true
 				walk = append(walk, next)
-				cur = next.To
+				cur = g.edgeTo[next]
 			}
 			contigs = append(contigs, g.spellEdgeWalk(start, walk))
 		}
 	}
 
 	// Isolated cycles where every node is internal.
-	for _, start := range g.Nodes() {
+	for _, start := range g.order {
 		if !internal(start) {
 			continue
 		}
-		first := g.Out(start)[0]
-		if used[first.Kmer] {
+		first := firstOut(start)
+		if used[first] {
 			continue
 		}
-		used[first.Kmer] = true
-		walk := []Edge{first}
-		cur := first.To
+		used[first] = true
+		walk = append(walk[:0], first)
+		cur := g.edgeTo[first]
 		for cur != start {
-			next := g.Out(cur)[0]
-			used[next.Kmer] = true
+			next := firstOut(cur)
+			used[next] = true
 			walk = append(walk, next)
-			cur = next.To
+			cur = g.edgeTo[next]
 		}
 		contigs = append(contigs, g.spellEdgeWalk(start, walk))
 	}
+	g.scratch.edgePath = walk[:0]
 
 	sort.Slice(contigs, func(a, b int) bool {
 		sa, sb := contigs[a].Seq.String(), contigs[b].Seq.String()
@@ -86,17 +95,22 @@ func (g *Graph) Contigs() []Contig {
 	return contigs
 }
 
-// spellEdgeWalk converts a start node plus a chain of edges into a Contig:
-// the start (k-1)-mer followed by one base per edge.
-func (g *Graph) spellEdgeWalk(start kmer.Kmer, walk []Edge) Contig {
+// spellEdgeWalk converts a start node plus a chain of edge indices into a
+// Contig: the start (k-1)-mer followed by one base per edge, written into a
+// single pre-sized sequence.
+func (g *Graph) spellEdgeWalk(start int32, walk []int32) Contig {
 	nodeLen := g.NodeLen()
-	seq := start.ToSequence(nodeLen)
+	seq := genome.NewSequence(nodeLen + len(walk))
+	startKm := g.idx.At(start)
+	for i := 0; i < nodeLen; i++ {
+		seq.SetBase(i, startKm.Base(i))
+	}
 	var coverage float64
-	for _, e := range walk {
-		tail := genome.NewSequence(1)
-		tail.SetBase(0, e.To.LastBase(nodeLen))
-		seq = seq.Append(tail)
-		coverage += float64(e.Count)
+	for i, e := range walk {
+		// The appended base is the target node's last base — equivalently
+		// the edge k-mer's base k-1.
+		seq.SetBase(nodeLen+i, g.edgeKmer[e].Base(g.k-1))
+		coverage += float64(g.edgeCount[e])
 	}
 	return Contig{
 		Seq:          seq,

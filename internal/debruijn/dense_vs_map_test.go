@@ -1,0 +1,189 @@
+package debruijn
+
+import (
+	"fmt"
+	"testing"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/kmer"
+	"pimassembler/internal/stats"
+)
+
+// Differential suite: the dense interned-ID/CSR Graph must be
+// observationally byte-identical to the retained map-based MapGraph — same
+// nodes, degrees, adjacency order, contigs, and Eulerian walks — across
+// k ∈ {2..8} and the four PR-5 workload shapes the shard invariance suite
+// uses. This is the safety net under the representation swap.
+
+// diffWorkload mirrors the shard property-test workload generator.
+func diffWorkload(seed uint64, genomeLen, readLen, numReads int, errRate float64) []*genome.Sequence {
+	rng := stats.NewRNG(seed)
+	ref := genome.GenerateGenome(genomeLen, rng)
+	return genome.NewReadSampler(ref, readLen, errRate, rng).Sample(numReads)
+}
+
+// diffShapes are the four PR-5 workload shapes (shard.TestShardCountInvariance).
+var diffShapes = []struct {
+	name                         string
+	seed                         uint64
+	genomeLen, readLen, numReads int
+	errRate                      float64
+}{
+	{"clean reads", 21, 2_000, 101, 150, 0},
+	{"erroneous reads", 22, 1_500, 80, 200, 0.01},
+	{"short genome", 23, 400, 60, 64, 0},
+	{"reads barely above k", 24, 900, 18, 120, 0},
+}
+
+// assertGraphsMatch compares every observable of the two representations.
+func assertGraphsMatch(t *testing.T, dense *Graph, ref *MapGraph) {
+	t.Helper()
+	if dense.NumNodes() != ref.NumNodes() {
+		t.Fatalf("nodes: dense %d, map %d", dense.NumNodes(), ref.NumNodes())
+	}
+	if dense.NumEdges() != ref.NumEdges() {
+		t.Fatalf("edges: dense %d, map %d", dense.NumEdges(), ref.NumEdges())
+	}
+
+	dn, rn := dense.Nodes(), ref.Nodes()
+	for i := range dn {
+		if dn[i] != rn[i] {
+			t.Fatalf("node %d: dense %v, map %v", i, dn[i], rn[i])
+		}
+		dOut, rOut := dense.Out(dn[i]), ref.Out(rn[i])
+		if len(dOut) != len(rOut) {
+			t.Fatalf("node %v: out-degree dense %d, map %d", dn[i], len(dOut), len(rOut))
+		}
+		for j := range dOut {
+			if dOut[j] != rOut[j] {
+				t.Fatalf("node %v edge %d: dense %+v, map %+v", dn[i], j, dOut[j], rOut[j])
+			}
+		}
+	}
+
+	dContigs, rContigs := dense.Contigs(), ref.Contigs()
+	if len(dContigs) != len(rContigs) {
+		t.Fatalf("contigs: dense %d, map %d", len(dContigs), len(rContigs))
+	}
+	for i := range dContigs {
+		if got, want := dContigs[i].Seq.String(), rContigs[i].Seq.String(); got != want {
+			t.Fatalf("contig %d: dense %q, map %q", i, got, want)
+		}
+		if dContigs[i].EdgeCount != rContigs[i].EdgeCount {
+			t.Fatalf("contig %d: edge count dense %d, map %d", i, dContigs[i].EdgeCount, rContigs[i].EdgeCount)
+		}
+		if dContigs[i].MeanCoverage != rContigs[i].MeanCoverage {
+			t.Fatalf("contig %d: coverage dense %v, map %v", i, dContigs[i].MeanCoverage, rContigs[i].MeanCoverage)
+		}
+	}
+
+	dWalk, dErr := dense.EulerPath()
+	rWalk, rErr := ref.EulerPath()
+	if (dErr == nil) != (rErr == nil) {
+		t.Fatalf("euler: dense err=%v, map err=%v", dErr, rErr)
+	}
+	if dErr == nil {
+		if len(dWalk) != len(rWalk) {
+			t.Fatalf("euler walk: dense %d nodes, map %d", len(dWalk), len(rWalk))
+		}
+		for i := range dWalk {
+			if dWalk[i] != rWalk[i] {
+				t.Fatalf("euler walk node %d: dense %v, map %v", i, dWalk[i], rWalk[i])
+			}
+		}
+		if err := dense.ValidateWalk(dWalk); err != nil {
+			t.Fatalf("dense walk invalid: %v", err)
+		}
+	}
+}
+
+func TestDenseMatchesMapReference(t *testing.T) {
+	for _, shape := range diffShapes {
+		for k := 2; k <= 8; k++ {
+			t.Run(fmt.Sprintf("%s/k%d", shape.name, k), func(t *testing.T) {
+				reads := diffWorkload(shape.seed, shape.genomeLen, shape.readLen, shape.numReads, shape.errRate)
+				tbl := kmer.CountReads(reads, k)
+				assertGraphsMatch(t, Build(tbl), BuildMap(tbl))
+			})
+		}
+	}
+}
+
+// TestDenseIncrementalAddMatchesMap drives the re-finalize path: queries
+// interleaved with AddKmer batches must keep matching the map builder.
+func TestDenseIncrementalAddMatchesMap(t *testing.T) {
+	reads := diffWorkload(42, 600, 40, 80, 0.005)
+	k := 6
+	tbl := kmer.CountReads(reads, k)
+	entries := tbl.Entries()
+
+	dense := NewGraph(k)
+	ref := NewMapGraph(k)
+	for i, e := range entries {
+		dense.AddKmer(e.Kmer, e.Count)
+		ref.AddKmer(e.Kmer, e.Count)
+		// Query mid-build every so often, forcing finalize + re-dirty cycles.
+		if i%97 == 0 {
+			if dense.NumNodes() != ref.NumNodes() {
+				t.Fatalf("after %d adds: nodes dense %d, map %d", i+1, dense.NumNodes(), ref.NumNodes())
+			}
+			dense.Contigs()
+		}
+	}
+	assertGraphsMatch(t, dense, ref)
+}
+
+// TestDenseFleuryMatchesMapEuler cross-checks the ID-based Fleury rewrite:
+// on an Eulerian graph both dense traversals and the map reference must
+// produce valid walks covering every edge.
+func TestDenseFleuryMatchesMapEuler(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 5; trial++ {
+		src := genome.GenerateGenome(120, rng)
+		tbl := kmer.NewCountTable(7, 128)
+		kmer.Iterate(src, 7, func(km kmer.Kmer) { tbl.Add(km) })
+		dense, ref := Build(tbl), BuildMap(tbl)
+		dWalk, dErr := dense.FleuryPath()
+		_, rErr := ref.EulerPath()
+		if (dErr == nil) != (rErr == nil) {
+			t.Fatalf("trial %d: dense Fleury err=%v, map Euler err=%v", trial, dErr, rErr)
+		}
+		if dErr == nil {
+			if err := dense.ValidateWalk(dWalk); err != nil {
+				t.Fatalf("trial %d: Fleury walk invalid: %v", trial, err)
+			}
+		}
+	}
+}
+
+// FuzzDenseVsMap feeds random read sets through both builders and requires
+// identical contigs and Eulerian outcomes.
+func FuzzDenseVsMap(f *testing.F) {
+	f.Add("ACGTACGTTT\nGGTTACGTAC", uint8(4))
+	f.Add("ACACACACAC", uint8(2))
+	f.Add("TTTTTTTTTTTTTTTT\nACGT", uint8(8))
+	f.Add("CGTGCGTGCTT", uint8(5))
+	f.Fuzz(func(t *testing.T, text string, kRaw uint8) {
+		k := 2 + int(kRaw)%7 // k ∈ [2, 8]
+		if len(text) > 4096 {
+			t.Skip("oversized input")
+		}
+		var reads []*genome.Sequence
+		start := 0
+		for i := 0; i <= len(text); i++ {
+			if i == len(text) || text[i] == '\n' {
+				if i > start {
+					if s, err := genome.FromString(text[start:i]); err == nil && s.Len() >= k {
+						reads = append(reads, s)
+					}
+				}
+				start = i + 1
+			}
+		}
+		if len(reads) == 0 {
+			t.Skip("no valid reads")
+		}
+		tbl := kmer.CountReads(reads, k)
+		assertGraphsMatch(t, Build(tbl), BuildMap(tbl))
+	})
+}

@@ -13,96 +13,88 @@ var ErrNoEulerian = errors.New("debruijn: graph has no Eulerian path or circuit"
 // EulerPath returns an Eulerian path (or circuit) as a node walk using
 // Hierholzer's algorithm — the efficient traversal used for large graphs.
 // The walk visits every edge exactly once; spelling it reconstructs a
-// superstring of the reads.
+// superstring of the reads. The traversal runs entirely on node IDs over the
+// CSR arrays: a per-node edge cursor replaces the consumable adjacency-map
+// copy, so the only allocation is the returned walk.
 func (g *Graph) EulerPath() ([]kmer.Kmer, error) {
+	g.finalize()
 	if g.edges == 0 {
 		return nil, ErrNoEulerian
 	}
-	class, start := g.Balance()
+	class, start := g.balanceID()
 	if class == BalanceNone || !g.EdgeConnected() {
 		return nil, ErrNoEulerian
 	}
 
-	// Work on a consumable copy of the adjacency (deterministic order).
-	next := make(map[kmer.Kmer][]Edge, len(g.adj))
-	for n := range g.adj {
-		next[n] = g.Out(n)
-	}
+	n := g.idx.Len()
+	g.scratch.ensureNodes(n)
+	cursor := g.scratch.cursor
+	copy(cursor, g.edgeOff[:n])
 
 	// Hierholzer with an explicit stack; the walk assembles reversed.
-	stack := []kmer.Kmer{start}
-	var walk []kmer.Kmer
+	stack := append(g.scratch.stack[:0], start)
+	walk := g.scratch.walk[:0]
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
-		if out := next[v]; len(out) > 0 {
-			next[v] = out[1:]
-			stack = append(stack, out[0].To)
+		e := g.firstLiveEdge(v, cursor[v])
+		if e < g.edgeOff[v+1] {
+			cursor[v] = e + 1
+			stack = append(stack, g.edgeTo[e])
 		} else {
+			cursor[v] = e
 			walk = append(walk, v)
 			stack = stack[:len(stack)-1]
 		}
 	}
-	// Reverse in place.
-	for i, j := 0, len(walk)-1; i < j; i, j = i+1, j-1 {
-		walk[i], walk[j] = walk[j], walk[i]
-	}
+	g.scratch.stack, g.scratch.walk = stack[:0], walk
+
 	if len(walk) != g.edges+1 {
 		// Disconnected edge set slipped through (defensive; EdgeConnected
 		// should have caught it).
 		return nil, ErrNoEulerian
 	}
-	return walk, nil
+	// Convert to k-mers, reversing into the fresh result slice.
+	out := make([]kmer.Kmer, len(walk))
+	for i, id := range walk {
+		out[len(walk)-1-i] = g.idx.At(id)
+	}
+	return out, nil
 }
 
 // FleuryPath returns an Eulerian path using Fleury's algorithm — the
 // traversal the paper's Traverse procedure names (Fig. 5c). Fleury walks
 // edge by edge, never crossing a bridge while a non-bridge alternative
 // remains. It is O(E²) and kept for paper fidelity and cross-validation;
-// EulerPath is the production traversal.
+// EulerPath is the production traversal. The mutable multigraph copy is
+// per-node slices of CSR edge indices.
 func (g *Graph) FleuryPath() ([]kmer.Kmer, error) {
+	g.finalize()
 	if g.edges == 0 {
 		return nil, ErrNoEulerian
 	}
-	class, start := g.Balance()
+	class, start := g.balanceID()
 	if class == BalanceNone || !g.EdgeConnected() {
 		return nil, ErrNoEulerian
 	}
 
-	// Mutable multigraph copy with edge removal.
-	adj := make(map[kmer.Kmer][]Edge, len(g.adj))
-	for n := range g.adj {
-		adj[n] = g.Out(n)
+	n := g.idx.Len()
+	adj := make([][]int32, n)
+	for id := 0; id < n; id++ {
+		for e := g.edgeOff[id]; e < g.edgeOff[id+1]; e++ {
+			if !g.edgeDead[e] {
+				adj[id] = append(adj[id], e)
+			}
+		}
 	}
 	remaining := g.edges
 
-	removeEdge := func(from kmer.Kmer, idx int) {
-		adj[from] = append(append([]Edge(nil), adj[from][:idx]...), adj[from][idx+1:]...)
+	removeEdge := func(from int32, idx int) {
+		adj[from] = append(adj[from][:idx:idx], adj[from][idx+1:]...)
 		remaining--
 	}
-
-	// reachableEdges counts edges reachable from v in the remaining graph,
-	// used for the bridge test.
-	reachableEdges := func(v kmer.Kmer) int {
-		seen := map[kmer.Kmer]bool{v: true}
-		stack := []kmer.Kmer{v}
-		count := 0
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, e := range adj[n] {
-				count++
-				if !seen[e.To] {
-					seen[e.To] = true
-					stack = append(stack, e.To)
-				}
-			}
-		}
-		return count
-	}
-
-	restoreEdge := func(from kmer.Kmer, idx int, e Edge) {
+	restoreEdge := func(from int32, idx int, e int32) {
 		rest := adj[from]
-		out := make([]Edge, 0, len(rest)+1)
+		out := make([]int32, 0, len(rest)+1)
 		out = append(out, rest[:idx]...)
 		out = append(out, e)
 		out = append(out, rest[idx:]...)
@@ -110,7 +102,33 @@ func (g *Graph) FleuryPath() ([]kmer.Kmer, error) {
 		remaining++
 	}
 
-	walk := []kmer.Kmer{start}
+	// reachableEdges counts edges reachable from v in the remaining graph,
+	// used for the bridge test.
+	g.scratch.ensureNodes(n)
+	seen := g.scratch.seen
+	reachableEdges := func(v int32) int {
+		for i := range seen {
+			seen[i] = false
+		}
+		seen[v] = true
+		stack := append(g.scratch.stack[:0], v)
+		count := 0
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range adj[u] {
+				count++
+				if to := g.edgeTo[e]; !seen[to] {
+					seen[to] = true
+					stack = append(stack, to)
+				}
+			}
+		}
+		g.scratch.stack = stack[:0]
+		return count
+	}
+
+	walk := []kmer.Kmer{g.idx.At(start)}
 	v := start
 	for remaining > 0 {
 		out := adj[v]
@@ -124,9 +142,9 @@ func (g *Graph) FleuryPath() ([]kmer.Kmer, error) {
 				removeEdge(v, i)
 				// Not a bridge if every remaining edge stays reachable
 				// from the successor.
-				if reachableEdges(e.To) == remaining {
-					v = e.To
-					walk = append(walk, v)
+				if reachableEdges(g.edgeTo[e]) == remaining {
+					v = g.edgeTo[e]
+					walk = append(walk, g.idx.At(v))
 					moved = true
 					break
 				}
@@ -139,8 +157,8 @@ func (g *Graph) FleuryPath() ([]kmer.Kmer, error) {
 		// Single exit, or every alternative is a bridge: take edge 0.
 		e := adj[v][0]
 		removeEdge(v, 0)
-		v = e.To
-		walk = append(walk, v)
+		v = g.edgeTo[e]
+		walk = append(walk, g.idx.At(v))
 	}
 	return walk, nil
 }
@@ -148,11 +166,14 @@ func (g *Graph) FleuryPath() ([]kmer.Kmer, error) {
 // ValidateWalk checks that a node walk is a legal traversal: consecutive
 // nodes overlap correctly and every graph edge is used exactly once.
 func (g *Graph) ValidateWalk(walk []kmer.Kmer) error {
+	g.finalize()
 	if len(walk) != g.edges+1 {
 		return fmt.Errorf("debruijn: walk has %d nodes, want %d for %d edges",
 			len(walk), g.edges+1, g.edges)
 	}
-	used := make(map[kmer.Kmer]int) // edge k-mer -> times used
+	used := g.scratch.ensureEdges(len(g.edgeKmer))
+	var extraKm kmer.Kmer
+	extra := 0
 	for i := 0; i+1 < len(walk); i++ {
 		from, to := walk[i], walk[i+1]
 		// The traversed edge k-mer is from extended by to's last base.
@@ -160,21 +181,32 @@ func (g *Graph) ValidateWalk(walk []kmer.Kmer) error {
 		if km.Prefix(g.k) != from || km.Suffix(g.k) != to {
 			return fmt.Errorf("debruijn: step %d: %v -> %v is not a de Bruijn transition", i, from, to)
 		}
-		used[km]++
-	}
-	for n, edges := range g.adj {
-		for _, e := range edges {
-			if used[e.Kmer] == 0 {
-				return fmt.Errorf("debruijn: edge %s (from node %v) unused",
-					e.Kmer.String(g.k), n)
+		id, ok := g.idx.Lookup(from)
+		matched := false
+		if ok {
+			for e := g.edgeOff[id]; e < g.edgeOff[id+1]; e++ {
+				if !g.edgeDead[e] && !used[e] && g.edgeKmer[e] == km {
+					used[e] = true
+					matched = true
+					break
+				}
 			}
-			used[e.Kmer]--
+		}
+		if !matched {
+			extraKm = km
+			extra++
 		}
 	}
-	for km, c := range used {
-		if c != 0 {
-			return fmt.Errorf("debruijn: edge %s used %d extra times", km.String(g.k), c)
+	for id := 0; id+1 < len(g.edgeOff); id++ {
+		for e := g.edgeOff[id]; e < g.edgeOff[id+1]; e++ {
+			if !g.edgeDead[e] && !used[e] {
+				return fmt.Errorf("debruijn: edge %s (from node %v) unused",
+					g.edgeKmer[e].String(g.k), g.idx.At(int32(id)))
+			}
 		}
+	}
+	if extra != 0 {
+		return fmt.Errorf("debruijn: edge %s used %d extra times", extraKm.String(g.k), extra)
 	}
 	return nil
 }

@@ -12,6 +12,9 @@ import (
 // dead-end branches seeded by an error near a read end — and *bubbles* —
 // parallel paths between the same endpoints seeded by an error mid-read.
 // Both passes preserve the dominant (higher-coverage) structure.
+//
+// All passes operate on node IDs and CSR edge indices; removal tombstones
+// the edge slot and updates the flat degree vectors in place.
 
 // SimplifyStats reports what a simplification pass removed.
 type SimplifyStats struct {
@@ -21,27 +24,30 @@ type SimplifyStats struct {
 	RoundsRun     int
 }
 
-// removeEdge deletes one edge (identified by its k-mer) from node from.
-func (g *Graph) removeEdge(from kmer.Kmer, km kmer.Kmer) bool {
-	edges := g.adj[from]
-	for i, e := range edges {
-		if e.Kmer == km {
-			g.adj[from] = append(append([]Edge(nil), edges[:i]...), edges[i+1:]...)
-			g.inDeg[e.To]--
-			g.edges--
-			return true
-		}
+// removeEdgeAt tombstones edge slot e of node from. Returns false when the
+// slot was already dead.
+func (g *Graph) removeEdgeAt(from, e int32) bool {
+	if g.edgeDead[e] {
+		return false
 	}
-	return false
+	g.edgeDead[e] = true
+	g.outDeg[from]--
+	g.inDeg[g.edgeTo[e]]--
+	g.edges--
+	return true
 }
 
 // pruneIsolated drops nodes with no remaining edges.
 func (g *Graph) pruneIsolated() {
-	for n := range g.adj {
-		if len(g.adj[n]) == 0 && g.inDeg[n] == 0 {
-			delete(g.adj, n)
-			delete(g.inDeg, n)
+	changed := false
+	for _, id := range g.order {
+		if g.outDeg[id] == 0 && g.inDeg[id] == 0 {
+			g.alive[id] = false
+			changed = true
 		}
+	}
+	if changed {
+		g.rebuildOrder()
 	}
 }
 
@@ -53,34 +59,30 @@ func (g *Graph) ClipTips(maxLen int) int {
 	if maxLen <= 0 {
 		return 0
 	}
+	g.finalize()
 	removed := 0
 	// A tip starts at a node whose in-degree is 0 (forward tip) or ends at
 	// a node with out-degree 0 (reverse tip), and is shorter than maxLen.
-	for _, start := range g.Nodes() {
-		if !g.HasNode(start) {
-			continue
-		}
+	for _, start := range g.order {
 		// Forward tip: orphan start node with exactly one way forward.
-		if g.InDegree(start) == 0 && g.OutDegree(start) == 1 {
+		if g.inDeg[start] == 0 && g.outDeg[start] == 1 {
 			path, end := g.walkForward(start, maxLen)
-			if path == nil {
-				continue
-			}
-			// It is a clippable tip when it merges into a node that has
-			// other inputs (the main path continues without it).
-			if g.InDegree(end) > 1 {
-				removed += g.removePath(start, path)
+			if path != nil {
+				// It is a clippable tip when it merges into a node that has
+				// other inputs (the main path continues without it).
+				if g.inDeg[end] > 1 {
+					removed += g.removePath(start, path)
+				}
 			}
 		}
 		// Reverse tip: dead end with exactly one way back, hanging off a
 		// branching node (error near the read's tail).
-		if g.HasNode(start) && g.OutDegree(start) == 0 && g.InDegree(start) == 1 {
+		if g.outDeg[start] == 0 && g.inDeg[start] == 1 {
 			path, branch := g.walkBackward(start, maxLen)
-			if path == nil {
-				continue
-			}
-			if g.OutDegree(branch) > 1 {
-				removed += g.removePath(branch, path)
+			if path != nil {
+				if g.outDeg[branch] > 1 {
+					removed += g.removePath(branch, path)
+				}
 			}
 		}
 	}
@@ -88,39 +90,44 @@ func (g *Graph) ClipTips(maxLen int) int {
 	return removed
 }
 
-// predecessors returns the nodes with an edge into n, with the connecting
-// edge k-mers. A predecessor's edge k-mer is n prepended with one base
-// (e = b·n in sequence order), so there are at most four candidates.
-func (g *Graph) predecessors(n kmer.Kmer) []Edge {
-	var preds []Edge
+// predecessorEdge returns node n's single live incoming edge slot and its
+// source node, or ok=false when n has other than exactly one predecessor
+// edge. A predecessor's edge k-mer is n prepended with one base (e = b·n in
+// sequence order), so there are at most four candidates to probe.
+func (g *Graph) predecessorEdge(n int32) (from, edge int32, ok bool) {
+	nk := g.idx.At(n)
+	count := 0
 	for b := 0; b < 4; b++ {
-		e := (kmer.Kmer(b) | n<<2) & kmer.Kmer(kmer.Mask(g.k))
-		p := e.Prefix(g.k)
-		for _, edge := range g.adj[p] {
-			if edge.Kmer == e {
-				preds = append(preds, Edge{Kmer: e, To: p, Count: edge.Count})
+		e := (kmer.Kmer(b) | nk<<2) & kmer.Kmer(kmer.Mask(g.k))
+		pid, found := g.idx.Lookup(e.Prefix(g.k))
+		if !found {
+			continue
+		}
+		for slot := g.edgeOff[pid]; slot < g.edgeOff[pid+1]; slot++ {
+			if !g.edgeDead[slot] && g.edgeKmer[slot] == e {
+				from, edge = pid, slot
+				count++
 			}
 		}
 	}
-	return preds
+	return from, edge, count == 1
 }
 
 // walkBackward follows 1-in/1-out nodes upstream from end for at most
-// maxLen edges, stopping at a node that branches. It returns the path in
-// forward order (branch → end) plus the branch node, or nil when the walk
-// exceeds maxLen.
-func (g *Graph) walkBackward(end kmer.Kmer, maxLen int) ([]Edge, kmer.Kmer) {
-	var rev []Edge
+// maxLen edges, stopping at a node that branches. It returns the path of
+// edge slots in forward order (branch → end) plus the branch node, or nil
+// when the walk exceeds maxLen.
+func (g *Graph) walkBackward(end int32, maxLen int) ([]int32, int32) {
+	var rev []int32
 	cur := end
 	for len(rev) < maxLen {
-		preds := g.predecessors(cur)
-		if len(preds) != 1 {
+		from, edge, ok := g.predecessorEdge(cur)
+		if !ok {
 			return nil, cur
 		}
-		from := preds[0].To // predecessor node
-		rev = append(rev, Edge{Kmer: preds[0].Kmer, To: cur, Count: preds[0].Count})
+		rev = append(rev, edge)
 		cur = from
-		if g.OutDegree(cur) > 1 || g.InDegree(cur) != 1 {
+		if g.outDeg[cur] > 1 || g.inDeg[cur] != 1 {
 			// Reached the branch point.
 			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 				rev[i], rev[j] = rev[j], rev[i]
@@ -134,33 +141,32 @@ func (g *Graph) walkBackward(end kmer.Kmer, maxLen int) ([]Edge, kmer.Kmer) {
 // walkForward follows 1-out nodes from start for at most maxLen edges,
 // stopping at a node that branches or merges. Returns nil if the walk
 // exceeds maxLen without terminating (not a tip).
-func (g *Graph) walkForward(start kmer.Kmer, maxLen int) ([]Edge, kmer.Kmer) {
-	var path []Edge
+func (g *Graph) walkForward(start int32, maxLen int) ([]int32, int32) {
+	var path []int32
 	cur := start
 	for len(path) < maxLen {
-		out := g.Out(cur)
-		if len(out) != 1 {
+		if g.outDeg[cur] != 1 {
 			return nil, cur
 		}
-		e := out[0]
+		e := g.firstLiveEdge(cur, g.edgeOff[cur])
 		path = append(path, e)
-		cur = e.To
-		if g.InDegree(cur) > 1 || g.OutDegree(cur) != 1 {
+		cur = g.edgeTo[e]
+		if g.inDeg[cur] > 1 || g.outDeg[cur] != 1 {
 			return path, cur
 		}
 	}
 	return nil, cur
 }
 
-// removePath deletes the chain of edges starting at start.
-func (g *Graph) removePath(start kmer.Kmer, path []Edge) int {
+// removePath deletes the chain of edge slots starting at start.
+func (g *Graph) removePath(start int32, path []int32) int {
 	cur := start
 	removed := 0
 	for _, e := range path {
-		if g.removeEdge(cur, e.Kmer) {
+		if g.removeEdgeAt(cur, e) {
 			removed++
 		}
-		cur = e.To
+		cur = g.edgeTo[e]
 	}
 	return removed
 }
@@ -169,27 +175,31 @@ func (g *Graph) removePath(start kmer.Kmer, path []Edge) int {
 // maxLen) between the same branch and merge nodes and removes the one with
 // lower mean coverage. Returns the number of bubbles popped.
 func (g *Graph) PopBubbles(maxLen int) int {
+	g.finalize()
 	popped := 0
-	for _, branch := range g.Nodes() {
-		if !g.HasNode(branch) || g.OutDegree(branch) < 2 {
+	for _, branch := range g.order {
+		if g.outDeg[branch] < 2 {
 			continue
 		}
 		// Trace each outgoing simple path to its merge node.
 		type trace struct {
-			path []Edge
-			end  kmer.Kmer
+			path []int32
+			end  int32
 			cov  float64
 		}
 		var traces []trace
-		for _, first := range g.Out(branch) {
-			path := []Edge{first}
-			cur := first.To
-			cov := float64(first.Count)
-			for len(path) < maxLen && g.InDegree(cur) == 1 && g.OutDegree(cur) == 1 {
-				e := g.Out(cur)[0]
+		for first := g.edgeOff[branch]; first < g.edgeOff[branch+1]; first++ {
+			if g.edgeDead[first] {
+				continue
+			}
+			path := []int32{first}
+			cur := g.edgeTo[first]
+			cov := float64(g.edgeCount[first])
+			for len(path) < maxLen && g.inDeg[cur] == 1 && g.outDeg[cur] == 1 {
+				e := g.firstLiveEdge(cur, g.edgeOff[cur])
 				path = append(path, e)
-				cov += float64(e.Count)
-				cur = e.To
+				cov += float64(g.edgeCount[e])
+				cur = g.edgeTo[e]
 			}
 			traces = append(traces, trace{path: path, end: cur, cov: cov / float64(len(path))})
 		}
@@ -218,14 +228,12 @@ func (g *Graph) PopBubbles(maxLen int) int {
 // cutoff removes the error mass that topology-only passes cannot reach
 // (error arms braided into other error arms). Returns edges removed.
 func (g *Graph) CoverageCutoff(min uint32) int {
+	g.finalize()
 	removed := 0
-	for _, n := range g.Nodes() {
-		if !g.HasNode(n) {
-			continue
-		}
-		for _, e := range g.Out(n) {
-			if e.Count < min {
-				if g.removeEdge(n, e.Kmer) {
+	for _, id := range g.order {
+		for e := g.edgeOff[id]; e < g.edgeOff[id+1]; e++ {
+			if !g.edgeDead[e] && g.edgeCount[e] < min {
+				if g.removeEdgeAt(id, e) {
 					removed++
 				}
 			}

@@ -1,0 +1,103 @@
+package kmer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIndexInternAssignsDenseIDs(t *testing.T) {
+	idx := NewIndex(5, 0)
+	if idx.K() != 5 {
+		t.Fatalf("K() = %d, want 5", idx.K())
+	}
+	kms := []Kmer{Kmer(0b0110), Kmer(0), Kmer(0b1111), Kmer(42)}
+	for i, km := range kms {
+		id := idx.Intern(km)
+		if id != int32(i) {
+			t.Fatalf("Intern(%v) = %d, want %d", km, id, i)
+		}
+	}
+	if idx.Len() != len(kms) {
+		t.Fatalf("Len() = %d, want %d", idx.Len(), len(kms))
+	}
+	// Re-interning returns the original ID, without growing.
+	for i, km := range kms {
+		if id := idx.Intern(km); id != int32(i) {
+			t.Fatalf("re-Intern(%v) = %d, want %d", km, id, i)
+		}
+	}
+	if idx.Len() != len(kms) {
+		t.Fatalf("Len() after re-intern = %d, want %d", idx.Len(), len(kms))
+	}
+	for i, km := range kms {
+		if got := idx.At(int32(i)); got != km {
+			t.Fatalf("At(%d) = %v, want %v", i, got, km)
+		}
+		id, ok := idx.Lookup(km)
+		if !ok || id != int32(i) {
+			t.Fatalf("Lookup(%v) = (%d, %v), want (%d, true)", km, id, ok, i)
+		}
+	}
+	if _, ok := idx.Lookup(Kmer(999)); ok {
+		t.Fatal("Lookup of absent k-mer reported present")
+	}
+}
+
+func TestIndexGrowPreservesIDs(t *testing.T) {
+	idx := NewIndex(16, 0) // min capacity, forces several rehashes below
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		km := Kmer(uint64(i) * 0x9e3779b97f4a7c15)
+		if id := idx.Intern(km); id != int32(i) {
+			t.Fatalf("Intern #%d returned id %d", i, id)
+		}
+	}
+	if idx.Len() != n {
+		t.Fatalf("Len() = %d, want %d", idx.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		km := Kmer(uint64(i) * 0x9e3779b97f4a7c15)
+		id, ok := idx.Lookup(km)
+		if !ok || id != int32(i) {
+			t.Fatalf("after growth Lookup #%d = (%d, %v)", i, id, ok)
+		}
+		if idx.At(int32(i)) != km {
+			t.Fatalf("after growth At(%d) = %v, want %v", i, idx.At(int32(i)), km)
+		}
+	}
+}
+
+// TestTableCapacitySizing is the regression test for the capacity-sizing
+// overflow: the old doubling loop compared against hint*2, which wraps
+// negative for hints above MaxInt/2 and then spins forever (capacity
+// eventually overflows to 0 and 0 *= 2 never terminates). tableCapacity
+// must terminate and stay a power of two for every hint.
+func TestTableCapacitySizing(t *testing.T) {
+	cases := []struct {
+		hint, want int
+	}{
+		{-5, 16},
+		{0, 16},
+		{8, 16},
+		{9, 32},
+		{16, 32},
+		{17, 64},
+		{1 << 20, 1 << 21},
+	}
+	for _, c := range cases {
+		if got := tableCapacity(c.hint); got != c.want {
+			t.Errorf("tableCapacity(%d) = %d, want %d", c.hint, got, c.want)
+		}
+	}
+
+	// Huge hints must terminate (the regression) and still return a
+	// positive power of two. (The old loop compared capacity < hint*2, so
+	// any hint above MaxInt/2 wrapped the bound negative, capacity doubled
+	// to zero, and 0 *= 2 spun forever.)
+	for _, hint := range []int{math.MaxInt, math.MaxInt / 2, math.MaxInt/2 + 1, math.MaxInt / 4} {
+		got := tableCapacity(hint)
+		if got <= 0 || got&(got-1) != 0 {
+			t.Fatalf("tableCapacity(%d) = %d, not a positive power of two", hint, got)
+		}
+	}
+}

@@ -2,10 +2,31 @@ package kmer
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"pimassembler/internal/genome"
 )
+
+// tableCapacity returns the slot count backing an open-addressing table
+// expected to hold hint entries: the smallest power of two keeping the load
+// factor at or below ½, with a floor of 16. Hints large enough that the
+// doubling would overflow int are clamped instead — the old unguarded loop
+// wrapped capacity negative and spun forever on such hints.
+func tableCapacity(hint int) int {
+	const minCapacity = 16
+	if hint <= minCapacity/2 {
+		return minCapacity
+	}
+	if hint > math.MaxInt/4 {
+		hint = math.MaxInt / 4
+	}
+	capacity := minCapacity
+	for capacity < 2*hint {
+		capacity *= 2
+	}
+	return capacity
+}
 
 // CountTable is the software reference k-mer hash table: open addressing
 // with linear probing, the same probe discipline the PIM mapping uses
@@ -24,10 +45,7 @@ type CountTable struct {
 // least hint entries before growing.
 func NewCountTable(k int, hint int) *CountTable {
 	checkK(k)
-	capacity := 16
-	for capacity < hint*2 {
-		capacity *= 2
-	}
+	capacity := tableCapacity(hint)
 	return &CountTable{
 		k:      k,
 		keys:   make([]Kmer, capacity),
