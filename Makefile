@@ -9,7 +9,7 @@ GO ?= go
 # these. internal/eval runs with -short so the race pass exercises the
 # harness — including the concurrent cross-engine comparison experiment —
 # without repeating the full multi-second golden runs.
-RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/debruijn/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/genome/... ./internal/jobqueue/... ./internal/kmer/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/shard/... ./internal/subarray/...
+RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/correct/... ./internal/debruijn/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/genome/... ./internal/jobqueue/... ./internal/kmer/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/shard/... ./internal/subarray/...
 
 .PHONY: all check ci fmt-check build vet test test-race fuzz-smoke bench reproduce examples clean
 
@@ -40,7 +40,7 @@ test-race:
 # package). FUZZTIME=10s is the CI smoke budget; raise it locally for a
 # real hunt.
 FUZZTIME ?= 10s
-FUZZ_PKGS = ./internal/genome ./internal/debruijn
+FUZZ_PKGS = ./internal/genome ./internal/debruijn ./internal/kmer
 
 fuzz-smoke:
 	@for pkg in $(FUZZ_PKGS); do \
@@ -55,7 +55,7 @@ fuzz-smoke:
 # (benchmark name -> iterations + every value/unit pair). BENCHTIME=1x is
 # the CI smoke mode: every benchmark runs once, proving the benchjson
 # artefact pipeline still parses without paying full measurement time.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 BENCHTIME ?= 1s
 
 bench:

@@ -240,16 +240,30 @@ func BenchmarkFunctionalHashTableAdd(b *testing.B) {
 	}
 }
 
-// BenchmarkSoftwareAssembly isolates stage 2 — graph build plus traversal
-// (Euler attempt + contigs) — on the dense interned-ID/CSR core against the
-// retained map-based reference builder, at the paper's bracketing k values.
-// The allocs/op column is the PR 6 acceptance metric: dense must sit ≥5×
-// below map on the same workload.
+// BenchmarkSoftwareAssembly isolates the software hot path at the paper's
+// bracketing k values: stage 1 — k-mer counting, serial CountReads vs the
+// hash-partitioned parallel counter at NumCPU workers — and stage 2 — graph
+// build plus traversal (Euler attempt + contigs) on the dense
+// interned-ID/CSR core against the retained map-based reference builder.
+// The allocs/op column of dense-vs-map is the PR 6 acceptance metric; the
+// count-serial / count-parallel wall-clock ratio is the PR 7 one.
 func BenchmarkSoftwareAssembly(b *testing.B) {
 	rng := stats.NewRNG(8)
 	ref := genome.GenerateGenome(20_000, rng)
 	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(2_000)
 	for _, k := range []int{16, 32} {
+		b.Run(fmt.Sprintf("k%d/count-serial", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kmer.CountReads(reads, k)
+			}
+		})
+		b.Run(fmt.Sprintf("k%d/count-parallel", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kmer.CountReadsParallel(reads, k, parallel.Workers())
+			}
+		})
 		tbl := kmer.CountReads(reads, k)
 		b.Run(fmt.Sprintf("k%d/dense", k), func(b *testing.B) {
 			b.ReportAllocs()
@@ -267,6 +281,48 @@ func BenchmarkSoftwareAssembly(b *testing.B) {
 				g.Contigs()
 			}
 		})
+	}
+}
+
+// BenchmarkCountReadsParallel measures stage 1 in isolation on the
+// BenchmarkSoftwareAssembly workload: the serial open-addressing table
+// against the hash-partitioned counter across worker counts. kmers/s is the
+// headline rate; the serial-vs-NumCPU ratio is the PR 7 acceptance metric.
+func BenchmarkCountReadsParallel(b *testing.B) {
+	rng := stats.NewRNG(8)
+	ref := genome.GenerateGenome(20_000, rng)
+	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(2_000)
+	var totalKmers int64
+	for _, r := range reads {
+		totalKmers += int64(r.Len() - 16 + 1)
+	}
+	for _, k := range []int{16, 32} {
+		b.Run(fmt.Sprintf("k%d/serial", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				kmer.CountReads(reads, k)
+				elapsed += time.Since(start)
+			}
+			b.ReportMetric(float64(totalKmers)*float64(b.N)/elapsed.Seconds(), "kmers/s")
+		})
+		workerSweep := []int{1, 4}
+		if n := parallel.Workers(); n != 1 && n != 4 {
+			workerSweep = append(workerSweep, n)
+		}
+		for _, w := range workerSweep {
+			b.Run(fmt.Sprintf("k%d/workers%d", k, w), func(b *testing.B) {
+				b.ReportAllocs()
+				var elapsed time.Duration
+				for i := 0; i < b.N; i++ {
+					start := time.Now()
+					kmer.CountReadsParallel(reads, k, w)
+					elapsed += time.Since(start)
+				}
+				b.ReportMetric(float64(totalKmers)*float64(b.N)/elapsed.Seconds(), "kmers/s")
+			})
+		}
 	}
 }
 

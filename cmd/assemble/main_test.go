@@ -153,6 +153,40 @@ func TestRunSharded(t *testing.T) {
 	}
 }
 
+// TestRunCountWorkers pins the parallel-counting flag: `-count-workers N`
+// is a pure perf knob, so stdout (modulo the wall-clock line) and the
+// contigs file are byte-identical to the serial run for any N.
+func TestRunCountWorkers(t *testing.T) {
+	dir := t.TempDir()
+	readsPath := writeReads(t, dir, "reads.fasta", 77, 130)
+
+	runOnce := func(extra ...string) (string, string) {
+		t.Helper()
+		outPath := filepath.Join(dir, "contigs.fasta")
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-in", readsPath, "-out", outPath, "-k", "16"}, extra...)
+		if code := run(args, &stdout, &stderr); code != exitOK {
+			t.Fatalf("args %v: exit code = %d, stderr: %s", extra, code, stderr.String())
+		}
+		contigs, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String(), string(contigs)
+	}
+
+	baseOut, baseContigs := runOnce()
+	for _, workers := range []string{"2", "4"} {
+		out, contigs := runOnce("-count-workers", workers)
+		if stripClocks(out) != stripClocks(baseOut) {
+			t.Errorf("-count-workers %s stdout differs from serial:\n--- serial\n%s--- parallel\n%s", workers, baseOut, out)
+		}
+		if contigs != baseContigs {
+			t.Errorf("-count-workers %s contigs file differs from serial", workers)
+		}
+	}
+}
+
 // stripClocks drops the wall-clock timing line from a run's stdout.
 func stripClocks(out string) string {
 	var b strings.Builder

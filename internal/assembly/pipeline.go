@@ -45,6 +45,14 @@ type Options struct {
 	// sub-arrays with a bank-keyed worker pool (bit-identical to the serial
 	// path; ignored by the software reference pipeline).
 	ParallelStage1 bool
+	// CountWorkers fans stage 1 of the software pipeline out over the
+	// hash-partitioned parallel counter (kmer.CountReadsParallel) with this
+	// many workers. 0 or 1 keeps the pinned serial kmer.CountReads path,
+	// byte-identical to previous releases. Contigs, entries, counts, and
+	// spectra are identical for any value; the probe statistics feeding
+	// OpCounts.AvgProbes reflect the partitioned layout when parallel (and
+	// are themselves invariant in the worker count).
+	CountWorkers int
 }
 
 // DefaultOptions returns a pipeline configuration matching the paper's
@@ -73,8 +81,10 @@ type StageTimings struct {
 
 // Result is a completed assembly.
 type Result struct {
-	Options   Options
-	Table     *kmer.CountTable
+	Options Options
+	// Table is the stage-1 counter: *kmer.CountTable on the serial path,
+	// *kmer.PartitionedTable when Options.CountWorkers > 1.
+	Table     kmer.Counter
 	Graph     *debruijn.Graph
 	Contigs   []debruijn.Contig
 	Scaffolds []Scaffold
@@ -109,13 +119,18 @@ func Assemble(reads []*genome.Sequence, opts Options) (*Result, error) {
 		for i, r := range reads {
 			copies[i] = r.Subsequence(0, r.Len())
 		}
-		correct.FromReads(copies, opts.K, threshold, 4).CorrectAll(copies)
+		correct.FromReadsWorkers(copies, opts.K, threshold, 4, opts.CountWorkers).CorrectAll(copies)
 		reads = copies
 	}
 
-	// Stage 1: k-mer analysis (Hashmap procedure).
+	// Stage 1: k-mer analysis (Hashmap procedure) — serial reference table,
+	// or the hash-partitioned parallel counter when CountWorkers > 1.
 	start := time.Now()
-	res.Table = kmer.CountReads(reads, opts.K)
+	if opts.CountWorkers > 1 {
+		res.Table = kmer.CountReadsParallel(reads, opts.K, opts.CountWorkers)
+	} else {
+		res.Table = kmer.CountReads(reads, opts.K)
+	}
 	res.Timings.Hashmap = time.Since(start)
 
 	// Stage 2a: de Bruijn graph construction (dense interned-ID/CSR core,

@@ -15,7 +15,7 @@ import (
 
 // Corrector holds the k-mer spectrum and correction policy.
 type Corrector struct {
-	table *kmer.CountTable
+	table kmer.Counter
 	k     int
 	// SolidThreshold is the minimum count for a k-mer to be trusted.
 	SolidThreshold uint32
@@ -24,8 +24,9 @@ type Corrector struct {
 	MaxCorrections int
 }
 
-// New builds a corrector from a counted spectrum.
-func New(table *kmer.CountTable, solidThreshold uint32, maxCorrections int) *Corrector {
+// New builds a corrector from a counted spectrum — the serial CountTable or
+// the hash-partitioned parallel table alike.
+func New(table kmer.Counter, solidThreshold uint32, maxCorrections int) *Corrector {
 	if solidThreshold == 0 {
 		panic("correct: solid threshold must be positive")
 	}
@@ -168,5 +169,16 @@ func (c *Corrector) CorrectAll(reads []*genome.Sequence) Stats {
 // FromReads counts the reads' own spectrum and builds a corrector from it —
 // the usual self-correction bootstrap.
 func FromReads(reads []*genome.Sequence, k int, solidThreshold uint32, maxCorrections int) *Corrector {
+	return FromReadsWorkers(reads, k, solidThreshold, maxCorrections, 1)
+}
+
+// FromReadsWorkers is FromReads with the spectrum counted by the parallel
+// hash-partitioned counter when workers > 1 (serial CountReads otherwise).
+// The spectrum — and therefore every correction decision — is identical
+// either way.
+func FromReadsWorkers(reads []*genome.Sequence, k int, solidThreshold uint32, maxCorrections, workers int) *Corrector {
+	if workers > 1 {
+		return New(kmer.CountReadsParallel(reads, k, workers), solidThreshold, maxCorrections)
+	}
 	return New(kmer.CountReads(reads, k), solidThreshold, maxCorrections)
 }

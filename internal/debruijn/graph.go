@@ -143,11 +143,12 @@ func (g *Graph) AddKmer(km kmer.Kmer, count uint32) {
 	g.dirty = true
 }
 
-// Build constructs the graph from a k-mer count table, inserting each
-// distinct k-mer once (frequency kept as edge weight). Insertion order does
-// not matter — finalize sorts every adjacency segment by k-mer — so the
-// table is streamed unsorted rather than paying Entries' sort.
-func Build(t *kmer.CountTable) *Graph {
+// Build constructs the graph from a k-mer counter — the serial CountTable
+// or the hash-partitioned parallel table alike — inserting each distinct
+// k-mer once (frequency kept as edge weight). Insertion order does not
+// matter — finalize sorts every adjacency segment by k-mer — so the table
+// is streamed unsorted rather than paying Entries' sort.
+func Build(t kmer.Counter) *Graph {
 	g := NewGraphHint(t.K(), t.Len()+1, t.Len())
 	t.Each(func(km kmer.Kmer, count uint32) bool {
 		g.AddKmer(km, count)

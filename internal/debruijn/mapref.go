@@ -33,8 +33,8 @@ func NewMapGraph(k int) *MapGraph {
 	}
 }
 
-// BuildMap constructs the map-based graph from a k-mer count table.
-func BuildMap(t *kmer.CountTable) *MapGraph {
+// BuildMap constructs the map-based graph from a k-mer counter.
+func BuildMap(t kmer.Counter) *MapGraph {
 	g := NewMapGraph(t.K())
 	for _, e := range t.Entries() {
 		g.AddKmer(e.Kmer, e.Count)

@@ -1,0 +1,77 @@
+package kmer
+
+// sortEntries orders entries by ascending k-mer code in place: the shared
+// sorting primitive behind CountTable.Entries, FilterMinCount, and the
+// per-partition runs of PartitionedTable. It replaces the old comparison
+// sort (O(n log n) sort.Slice) with an LSD radix sort over the packed
+// uint64 codes — O(n) passes, one pass per byte the codes actually occupy,
+// so a k=16 table pays 4 passes and a k=8 table 2. The sort is stable,
+// which is stronger than the old sort.Slice guarantee; tables never hold
+// duplicate keys, so the output order is identical either way.
+func sortEntries(es []Entry) {
+	n := len(es)
+	if n < 2 {
+		return
+	}
+	if n <= 48 {
+		insertionSortEntries(es)
+		return
+	}
+
+	// One gathering pass builds the histogram of every byte lane; uniform
+	// lanes (all high bytes for small k, shared prefixes in a partition)
+	// are skipped entirely.
+	var hist [8][256]int
+	for _, e := range es {
+		v := uint64(e.Kmer)
+		hist[0][byte(v)]++
+		hist[1][byte(v>>8)]++
+		hist[2][byte(v>>16)]++
+		hist[3][byte(v>>24)]++
+		hist[4][byte(v>>32)]++
+		hist[5][byte(v>>40)]++
+		hist[6][byte(v>>48)]++
+		hist[7][byte(v>>56)]++
+	}
+
+	buf := make([]Entry, n)
+	src, dst := es, buf
+	for b := 0; b < 8; b++ {
+		h := &hist[b]
+		shift := uint(8 * b)
+		// The byte histogram is permutation-invariant, so src[0] probes
+		// uniformity regardless of how earlier passes reordered entries.
+		if h[byte(uint64(src[0].Kmer)>>shift)] == n {
+			continue
+		}
+		var off [256]int
+		sum := 0
+		for i := range h {
+			off[i] = sum
+			sum += h[i]
+		}
+		for _, e := range src {
+			d := byte(uint64(e.Kmer) >> shift)
+			dst[off[d]] = e
+			off[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &es[0] {
+		copy(es, src)
+	}
+}
+
+// insertionSortEntries handles the short slices where radix bookkeeping
+// costs more than it saves.
+func insertionSortEntries(es []Entry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].Kmer > e.Kmer {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}

@@ -3,7 +3,6 @@ package kmer
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"pimassembler/internal/genome"
 )
@@ -89,6 +88,15 @@ func (t *CountTable) Add(km Kmer) uint32 {
 	}
 }
 
+// AddAll folds a staged batch of k-mers into the table in slice order: the
+// per-partition drain loop of the parallel counting layer. It is exactly
+// len(kms) Add calls, kept as one tight loop on the hot path.
+func (t *CountTable) AddAll(kms []Kmer) {
+	for _, km := range kms {
+		t.Add(km)
+	}
+}
+
 // Count returns the stored count of km (0 if absent).
 func (t *CountTable) Count(km Kmer) uint32 {
 	mask := uint64(len(t.keys) - 1)
@@ -135,7 +143,8 @@ type Entry struct {
 }
 
 // Entries returns all entries sorted by k-mer value — a deterministic order
-// for graph construction and tests.
+// for graph construction and tests. Ordering is the shared radix sort over
+// the packed codes, not a comparison sort.
 func (t *CountTable) Entries() []Entry {
 	out := make([]Entry, 0, t.n)
 	for i, u := range t.used {
@@ -143,7 +152,7 @@ func (t *CountTable) Entries() []Entry {
 			out = append(out, Entry{t.keys[i], t.counts[i]})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Kmer < out[b].Kmer })
+	sortEntries(out)
 	return out
 }
 
@@ -190,15 +199,28 @@ func (t *CountTable) Spectrum() []int64 {
 	return spec
 }
 
-// FilterMinCount returns the entries with count ≥ min — the low-frequency
-// error-trimming step assemblers apply before graph construction.
+// FilterMinCount returns the entries with count ≥ min, sorted by k-mer —
+// the low-frequency error-trimming step assemblers apply before graph
+// construction. Survivors are counted first and collected into one exact
+// allocation, then sorted: the old path materialised the full sorted
+// Entries slice only to re-append the survivors through repeated growth.
 func (t *CountTable) FilterMinCount(min uint32) []Entry {
-	var out []Entry
-	for _, e := range t.Entries() {
-		if e.Count >= min {
-			out = append(out, e)
+	if min <= 1 {
+		return t.Entries()
+	}
+	survivors := 0
+	for i, u := range t.used {
+		if u && t.counts[i] >= min {
+			survivors++
 		}
 	}
+	out := make([]Entry, 0, survivors)
+	for i, u := range t.used {
+		if u && t.counts[i] >= min {
+			out = append(out, Entry{t.keys[i], t.counts[i]})
+		}
+	}
+	sortEntries(out)
 	return out
 }
 

@@ -122,6 +122,109 @@ func TestFilterMinCount(t *testing.T) {
 	}
 }
 
+// TestSpectrumUnderGrowth drives the table through several grow cycles
+// (hint 1, thousands of inserts with heavy repetition) and checks the
+// spectrum bucket by bucket against a reference map.
+func TestSpectrumUnderGrowth(t *testing.T) {
+	tbl := NewCountTable(12, 1)
+	rng := stats.NewRNG(11)
+	ref := make(map[Kmer]uint32)
+	for i := 0; i < 20_000; i++ {
+		km := Kmer(rng.Uint64()%3000) & Kmer(Mask(12))
+		tbl.Add(km)
+		ref[km]++
+	}
+	wantSpec := make(map[uint32]int64)
+	var maxC uint32
+	for _, c := range ref {
+		wantSpec[c]++
+		if c > maxC {
+			maxC = c
+		}
+	}
+	spec := tbl.Spectrum()
+	if len(spec) != int(maxC)+1 {
+		t.Fatalf("spectrum length %d, want %d", len(spec), maxC+1)
+	}
+	for c, n := range spec {
+		if n != wantSpec[uint32(c)] {
+			t.Fatalf("spectrum[%d] = %d, want %d", c, n, wantSpec[uint32(c)])
+		}
+	}
+}
+
+// TestEachEarlyTerminationUnderGrowth pins that Each stops exactly at the
+// first false return — no further callbacks — on a table that has regrown
+// several times, and that a full pass visits each entry exactly once.
+func TestEachEarlyTerminationUnderGrowth(t *testing.T) {
+	tbl := NewCountTable(10, 1)
+	rng := stats.NewRNG(12)
+	for i := 0; i < 5_000; i++ {
+		tbl.Add(Kmer(rng.Uint64()) & Kmer(Mask(10)))
+	}
+	if tbl.Len() < 1000 {
+		t.Fatalf("workload too small to force growth: %d distinct", tbl.Len())
+	}
+	seen := make(map[Kmer]int)
+	tbl.Each(func(km Kmer, _ uint32) bool {
+		seen[km]++
+		return true
+	})
+	if len(seen) != tbl.Len() {
+		t.Fatalf("full Each visited %d distinct, want %d", len(seen), tbl.Len())
+	}
+	for km, n := range seen {
+		if n != 1 {
+			t.Fatalf("entry %v visited %d times", km, n)
+		}
+	}
+	for _, stop := range []int{1, 7, tbl.Len() / 2, tbl.Len()} {
+		calls := 0
+		tbl.Each(func(Kmer, uint32) bool {
+			calls++
+			return calls < stop
+		})
+		if calls != stop {
+			t.Fatalf("early stop at %d made %d callbacks", stop, calls)
+		}
+	}
+}
+
+// TestFilterMinCountMatchesReference checks the preallocated filter against
+// the naive filter-of-Entries on a grown table, for every threshold the
+// spectrum contains (plus one past the maximum).
+func TestFilterMinCountMatchesReference(t *testing.T) {
+	tbl := NewCountTable(9, 1)
+	rng := stats.NewRNG(13)
+	for i := 0; i < 8_000; i++ {
+		tbl.Add(Kmer(rng.Uint64()%600) & Kmer(Mask(9)))
+	}
+	all := tbl.Entries()
+	var maxC uint32
+	for _, e := range all {
+		if e.Count > maxC {
+			maxC = e.Count
+		}
+	}
+	for min := uint32(0); min <= maxC+1; min++ {
+		want := make([]Entry, 0)
+		for _, e := range all {
+			if e.Count >= min {
+				want = append(want, e)
+			}
+		}
+		got := tbl.FilterMinCount(min)
+		if len(got) != len(want) {
+			t.Fatalf("min=%d: %d survivors, want %d", min, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("min=%d: survivor %d is %+v, want %+v", min, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestProbeOpsMonotone(t *testing.T) {
 	tbl := NewCountTable(8, 8)
 	before := tbl.ProbeOps()

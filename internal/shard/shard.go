@@ -217,8 +217,13 @@ func merge(res *Result, opts engine.Options) (*engine.Report, error) {
 	}
 	// Only the count-independent options carry into the merge pass: the
 	// contig multiplicities here count shards, not reads, so MinCount /
-	// Simplify / Correct must not re-filter.
-	mergeOpts := assembly.Options{K: opts.K, Scaffold: opts.Scaffold, MinOverlap: opts.MinOverlap}
+	// Simplify / Correct must not re-filter. CountWorkers carries through —
+	// the re-dedup pass counts the concatenated contigs' k-mers, the
+	// heaviest part of the merge, and parallel counting is contig-identical.
+	mergeOpts := assembly.Options{
+		K: opts.K, Scaffold: opts.Scaffold, MinOverlap: opts.MinOverlap,
+		CountWorkers: opts.CountWorkers,
+	}
 	mres, err := assembly.Assemble(contigReads, mergeOpts)
 	if err != nil {
 		return nil, fmt.Errorf("shard: merge: %w", err)
