@@ -55,7 +55,7 @@ fuzz-smoke:
 # (benchmark name -> iterations + every value/unit pair). BENCHTIME=1x is
 # the CI smoke mode: every benchmark runs once, proving the benchjson
 # artefact pipeline still parses without paying full measurement time.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 BENCHTIME ?= 1s
 
 bench:

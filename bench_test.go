@@ -6,6 +6,7 @@
 package pimassembler
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"pimassembler/internal/parallel"
 	"pimassembler/internal/perfmodel"
 	"pimassembler/internal/platforms"
+	"pimassembler/internal/shard"
 	"pimassembler/internal/stats"
 	"pimassembler/internal/subarray"
 )
@@ -376,7 +378,7 @@ func BenchmarkEngineDispatch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := eng.Assemble(ctx, reads, engine.Options{Options: opts}); err != nil {
+			if _, err := eng.Assemble(ctx, genome.NewSliceSource(reads), engine.Options{Options: opts}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -434,15 +436,24 @@ func BenchmarkJobQueue(b *testing.B) {
 	}
 	opts := engine.Options{Options: assembly.Options{K: 16}, Subarrays: 16}
 	counts := eval.PaperCounts(16)
-	var specs []jobqueue.Spec
+	var readSets [][]*genome.Sequence
 	for i := 0; i < 3; i++ {
-		specs = append(specs,
-			jobqueue.Spec{Engine: "software", Reads: workload(800), Opts: opts},
-			jobqueue.Spec{Engine: "pim-assembler", Reads: workload(600), Opts: opts})
+		readSets = append(readSets, workload(800), workload(600))
 	}
-	specs = append(specs,
-		jobqueue.Spec{Engine: "drisa-3t1c", Opts: engine.Options{Counts: &counts}},
-		jobqueue.Spec{Engine: "gpu", Opts: engine.Options{Counts: &counts}})
+	// Sources carry a cursor, so every Run gets a fresh manifest over the
+	// same read sets.
+	makeSpecs := func() []jobqueue.Spec {
+		var specs []jobqueue.Spec
+		for i := 0; i < 3; i++ {
+			specs = append(specs,
+				jobqueue.Spec{Engine: "software", Source: genome.NewSliceSource(readSets[2*i]), Opts: opts},
+				jobqueue.Spec{Engine: "pim-assembler", Source: genome.NewSliceSource(readSets[2*i+1]), Opts: opts})
+		}
+		return append(specs,
+			jobqueue.Spec{Engine: "drisa-3t1c", Opts: engine.Options{Counts: &counts}},
+			jobqueue.Spec{Engine: "gpu", Opts: engine.Options{Counts: &counts}})
+	}
+	nSpecs := len(makeSpecs())
 
 	for _, mode := range []struct {
 		name    string
@@ -458,6 +469,7 @@ func BenchmarkJobQueue(b *testing.B) {
 			b.ResetTimer()
 			var elapsed time.Duration
 			for i := 0; i < b.N; i++ {
+				specs := makeSpecs()
 				start := time.Now()
 				results := q.Run(ctx, specs)
 				elapsed += time.Since(start)
@@ -467,9 +479,65 @@ func BenchmarkJobQueue(b *testing.B) {
 					}
 				}
 			}
-			b.ReportMetric(float64(len(specs))*float64(b.N)/elapsed.Seconds(), "jobs/s")
+			b.ReportMetric(float64(nSpecs)*float64(b.N)/elapsed.Seconds(), "jobs/s")
 		})
 	}
+}
+
+// --- Out-of-core sharding (DESIGN.md §15) ---
+
+// BenchmarkShardSpill measures the out-of-core sharded path against the
+// in-memory one on the same 2k-read workload: partition-to-disk plus
+// spill-backed assembly versus slice sharding, identical merged contigs.
+// spill-MB/s is the partitioner's ingest rate; the in-memory/spill ns/op
+// ratio is the cost of bounding resident memory.
+func BenchmarkShardSpill(b *testing.B) {
+	rng := stats.NewRNG(11)
+	ref := genome.GenerateGenome(20_000, rng)
+	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(2_000)
+	var fasta bytes.Buffer
+	rw := genome.NewRecordWriter(&fasta)
+	for i, r := range reads {
+		if err := rw.Write(genome.Record{Name: fmt.Sprintf("r%d", i), Seq: r}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	plan := shard.Plan{Shards: 4, Opts: engine.Options{Options: assembly.Options{K: 16}}}
+	ctx := context.Background()
+
+	b.Run("in-memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := shard.Assemble(ctx, reads, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("spill", func(b *testing.B) {
+		b.ReportAllocs()
+		dir := b.TempDir()
+		cfg := shard.SpillConfig{Shards: 4, Dir: dir, MaxResidentReads: len(reads) / 4}
+		var spilled int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp, err := shard.Partition(ctx, bytes.NewReader(fasta.Bytes()), genome.FormatFASTA, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := shard.AssembleSpill(ctx, sp, shard.Plan{
+				Opts: plan.Opts, MaxResidentReads: cfg.MaxResidentReads,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			spilled += sp.Bytes()
+			sp.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(spilled)/(1<<20)/b.Elapsed().Seconds(), "spill-MB/s")
+	})
 }
 
 // --- Ablation studies (DESIGN.md §5) ---

@@ -12,6 +12,7 @@ import (
 
 	"pimassembler/internal/debruijn"
 	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
 	"pimassembler/internal/jobqueue"
 	"pimassembler/internal/metrics"
 )
@@ -148,7 +149,7 @@ func parseManifestJob(fields []string, defaultEngine string, defaults engine.Opt
 	if err != nil {
 		return spec, err
 	}
-	spec.Reads = reads
+	spec.Source = genome.NewSliceSource(reads)
 	return spec, nil
 }
 

@@ -9,6 +9,7 @@
 //
 //	assemble -in reads.fasta -k 16 -out contigs.fasta [-engine pim] [-scaffold] [-estimate]
 //	assemble -in reads.fasta -shards 4 [-shard-engines software,pim]
+//	assemble -in reads.fasta -shards 4 -spill-dir /tmp/spill [-max-resident-reads 65536]
 //	assemble -batch jobs.manifest [-workers 4]
 //	assemble -list-engines
 //
@@ -69,10 +70,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch      = fs.String("batch", "", "run a manifest of jobs through the concurrent queue (one '<input> <engine> [key=value ...]' per line)")
 		shards     = fs.Int("shards", 0, "split the reads into N deterministic shards and merge (0 = unsharded; output is invariant in N)")
 		shardEng   = fs.String("shard-engines", "", "comma-separated engine list assigned to shards round-robin (requires -shards; default: -engine)")
+		spillDir   = fs.String("spill-dir", "", "out-of-core sharding: stream the input into per-shard spill files under this directory instead of holding the reads in memory (requires -shards)")
+		maxRes     = fs.Int("max-resident-reads", 0, "out-of-core sharding: cap the decoded reads resident in memory across spilling and shard assembly (requires -spill-dir; 0 = default)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: assemble -in reads.fasta [flags]")
 		fmt.Fprintln(stderr, "       assemble -in reads.fasta -shards N [-shard-engines a,b,c] [flags]")
+		fmt.Fprintln(stderr, "       assemble -in reads.fasta -shards N -spill-dir DIR [-max-resident-reads M] [flags]")
 		fmt.Fprintln(stderr, "       assemble -batch jobs.manifest [flags]")
 		fmt.Fprintln(stderr, "       assemble -list-engines")
 		fmt.Fprintln(stderr, "\nexit codes: 0 success; 1 run or batch-job failure; 2 usage error")
@@ -116,11 +120,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "assemble: -batch and -shards are mutually exclusive")
 			return exitUsage
 		}
+		if *spillDir != "" {
+			fmt.Fprintln(stderr, "assemble: -batch and -spill-dir are mutually exclusive")
+			return exitUsage
+		}
 		return runBatch(*batch, *engineName, defaults, *workers, stdout, stderr)
 	}
 
 	if *shardEng != "" && *shards <= 0 {
 		fmt.Fprintln(stderr, "assemble: -shard-engines requires -shards")
+		return exitUsage
+	}
+	if *spillDir != "" && *shards <= 0 {
+		fmt.Fprintln(stderr, "assemble: -spill-dir requires -shards")
+		return exitUsage
+	}
+	if *maxRes != 0 && *spillDir == "" {
+		fmt.Fprintln(stderr, "assemble: -max-resident-reads requires -spill-dir")
+		return exitUsage
+	}
+	if *spillDir != "" && *paired {
+		fmt.Fprintln(stderr, "assemble: -spill-dir and -paired are mutually exclusive")
 		return exitUsage
 	}
 	shardNames := []string{*engineName}
@@ -151,10 +171,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "assemble:", err)
 		return exitUsage
 	}
-	reads, err := loadReads(*in)
-	if err != nil {
-		fmt.Fprintln(stderr, "assemble:", err)
-		return exitRuntime
+	// Out-of-core mode never materialises the read set; everything else
+	// loads it up front.
+	var reads []*genome.Sequence
+	if *spillDir == "" {
+		var err error
+		reads, err = loadReads(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "assemble:", err)
+			return exitRuntime
+		}
 	}
 	var pairs []genome.ReadPair
 	if *paired {
@@ -182,7 +208,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var rep *engine.Report
-	if *shards > 0 {
+	nReads := int64(len(reads))
+	switch {
+	case *spillDir != "":
+		var code int
+		rep, nReads, code = runSpill(context.Background(), *in, spillPlanConfig{
+			dir:         *spillDir,
+			shards:      *shards,
+			maxResident: *maxRes,
+			engines:     shardNames,
+			opts:        opts,
+			workers:     *workers,
+			parallel:    *parallel,
+		}, stdout, stderr)
+		if code != exitOK {
+			return code
+		}
+	case *shards > 0:
 		res, err := shard.Assemble(context.Background(), reads, shard.Plan{
 			Shards:  *shards,
 			Engines: shardNames,
@@ -201,8 +243,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// byte for byte, as the unsharded run.
 			report(stdout, rep, *parallel)
 		}
-	} else {
-		rep, err = eng.Assemble(context.Background(), reads, opts)
+	default:
+		var err error
+		rep, err = eng.Assemble(context.Background(), genome.NewSliceSource(reads), opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "assemble:", err)
 			return exitRuntime
@@ -230,7 +273,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "assembled %d reads (k=%d): %d contigs, %d bases, N50=%d\n",
-		len(reads), *k, len(contigs), debruijn.TotalBases(contigs), debruijn.N50(contigs))
+		nReads, *k, len(contigs), debruijn.TotalBases(contigs), debruijn.N50(contigs))
 	if *paired {
 		ms := assembly.MatePairScaffold(contigs, pairs, *k, *insert, 3)
 		longest := 0

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/metrics"
+	"pimassembler/internal/shard"
+)
+
+// spillPlanConfig carries the flag state for one out-of-core run.
+type spillPlanConfig struct {
+	dir         string
+	shards      int
+	maxResident int
+	engines     []string
+	opts        engine.Options
+	workers     int
+	parallel    bool
+}
+
+// runSpill executes the out-of-core sharded path: stream the input into
+// per-shard spill files, assemble each shard from its file with stage-1
+// streaming and a resident-read admission cap, and merge. Everything on
+// stdout is deterministic (spill sizes and eviction counts depend only on
+// the input and the cap); the wall-clock spill/queue statistics go to
+// stderr. Returns the merged report, the read count, and the exit code.
+func runSpill(ctx context.Context, in string, cfg spillPlanConfig, stdout, stderr io.Writer) (*engine.Report, int64, int) {
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "assemble:", err)
+		return nil, 0, exitRuntime
+	}
+	counters := metrics.NewCounters()
+	sp, err := shard.Partition(ctx, f, genome.DetectFormat(in), shard.SpillConfig{
+		Shards:           cfg.shards,
+		Dir:              cfg.dir,
+		MaxResidentReads: cfg.maxResident,
+		Counters:         counters,
+	})
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "assemble:", err)
+		return nil, 0, exitRuntime
+	}
+	defer sp.Close()
+
+	cap := cfg.maxResident
+	if cap <= 0 {
+		cap = shard.DefaultMaxResidentReads
+	}
+	fmt.Fprintf(stdout, "out-of-core: %d reads -> %d spill files (%d bytes, %d evictions), resident cap %d reads\n",
+		sp.TotalReads(), sp.Shards(), sp.Bytes(), sp.Evictions(), cap)
+
+	res, err := shard.AssembleSpill(ctx, sp, shard.Plan{
+		Engines:          cfg.engines,
+		Opts:             cfg.opts,
+		Workers:          cfg.workers,
+		MaxResidentReads: cfg.maxResident,
+		Counters:         counters,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "assemble:", err)
+		return nil, 0, exitRuntime
+	}
+	if len(res.PerShard) > 1 {
+		shardReport(stdout, res)
+	} else {
+		report(stdout, res.Report, cfg.parallel)
+	}
+	fmt.Fprintf(stderr, "spill statistics (wall clock):\n%s", counters)
+	return res.Report, sp.TotalReads(), exitOK
+}

@@ -52,11 +52,11 @@ func main() {
 	small := reads[:600]
 	opts := engine.Options{Options: assembly.Options{K: 16}, Subarrays: 64}
 	software, pim := mustEngine("software"), mustEngine("pim")
-	sw, err := software.Assemble(ctx, small, opts)
+	sw, err := software.Assemble(ctx, genome.NewSliceSource(small), opts)
 	if err != nil {
 		panic(err)
 	}
-	pimRep, err := pim.Assemble(ctx, small, opts)
+	pimRep, err := pim.Assemble(ctx, genome.NewSliceSource(small), opts)
 	if err != nil {
 		panic(err)
 	}
@@ -82,7 +82,7 @@ func main() {
 	// Sharded stage 1 reproduces the serial run bit for bit.
 	popts := opts
 	popts.ParallelStage1 = true
-	ppim, err := pim.Assemble(ctx, small, popts)
+	ppim, err := pim.Assemble(ctx, genome.NewSliceSource(small), popts)
 	if err != nil {
 		panic(err)
 	}

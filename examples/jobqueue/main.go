@@ -32,11 +32,11 @@ func main() {
 	counts := assembly.PaperOpCounts(genome.PaperChr14(), 16)
 
 	specs := []jobqueue.Spec{
-		{Name: "tenant-a", Engine: "software", Reads: a, Opts: opts},
-		{Name: "tenant-b", Engine: "pim", Reads: b, Opts: opts},
-		{Name: "tenant-c", Engine: "pim-assembler", Reads: c, Opts: opts},
+		{Name: "tenant-a", Engine: "software", Source: genome.NewSliceSource(a), Opts: opts},
+		{Name: "tenant-b", Engine: "pim", Source: genome.NewSliceSource(b), Opts: opts},
+		{Name: "tenant-c", Engine: "pim-assembler", Source: genome.NewSliceSource(c), Opts: opts},
 		{Name: "chr14-estimate", Engine: "drisa-3t1c", Opts: engine.Options{Counts: &counts}},
-		{Name: "tenant-a-k22", Engine: "software", Reads: a,
+		{Name: "tenant-a-k22", Engine: "software", Source: genome.NewSliceSource(a),
 			Opts:    engine.Options{Options: assembly.Options{K: 22, MinOverlap: 18}},
 			Timeout: 30 * time.Second,
 			Retry:   jobqueue.RetryPolicy{MaxAttempts: 3, Backoff: 50 * time.Millisecond}},

@@ -112,24 +112,23 @@ func AssemblePIM(p *core.Platform, reads []*genome.Sequence, opts Options, nSuba
 // the analytical models — the PIM-side twin of measureCounts, with the
 // probe count taken from the simulated hash table's slot visits.
 func measurePIMCounts(reads []*genome.Sequence, k int, table *core.HashTable, g *debruijn.Graph) OpCounts {
-	var total int64
-	for _, r := range reads {
-		if r.Len() >= k {
-			total += int64(r.Len() - k + 1)
-		}
-	}
+	t := totalsOf(reads, k)
 	avg := 1.0
-	if total > 0 {
-		avg = float64(table.ProbeOps()) / float64(total)
+	if t.kmers > 0 {
+		avg = float64(table.ProbeOps()) / float64(t.kmers)
 	}
 	if avg < 1 {
 		avg = 1
 	}
+	readLen := 0
+	if t.reads > 0 {
+		readLen = int((t.bases + t.reads/2) / t.reads)
+	}
 	return OpCounts{
 		K:             k,
-		ReadCount:     int64(len(reads)),
-		ReadLen:       readLen(reads),
-		TotalKmers:    float64(total),
+		ReadCount:     t.reads,
+		ReadLen:       readLen,
+		TotalKmers:    float64(t.kmers),
 		DistinctKmers: float64(table.Len()),
 		AvgProbes:     avg,
 		Nodes:         float64(g.NumNodes()),

@@ -53,6 +53,15 @@ type Options struct {
 	// OpCounts.AvgProbes reflect the partitioned layout when parallel (and
 	// are themselves invariant in the worker count).
 	CountWorkers int
+	// StreamStage1 makes AssembleSource count stage-1 k-mers one read at a
+	// time into a grow-on-demand table instead of draining the source into
+	// a slice first, so resident memory is bounded by the record in flight
+	// plus the table — the out-of-core spill path sets this. It only takes
+	// effect on the serial, uncorrected path (Correct and CountWorkers > 1
+	// need the full read set); Assemble ignores it. Contigs, entries, and
+	// counts are identical either way; only the probe statistics differ
+	// (the streamed table grows instead of being pre-sized).
+	StreamStage1 bool
 }
 
 // DefaultOptions returns a pipeline configuration matching the paper's
@@ -133,9 +142,19 @@ func Assemble(reads []*genome.Sequence, opts Options) (*Result, error) {
 	}
 	res.Timings.Hashmap = time.Since(start)
 
+	finishStages(res, opts)
+	res.Counts = measureCounts(totalsOf(reads, opts.K), res)
+	return res, nil
+}
+
+// finishStages runs stages 2a, 2b, and 3 from the populated stage-1 table —
+// the shared tail of the slice-backed and streaming entry points. Both call
+// it with identical table contents, which is what makes their contigs
+// byte-identical.
+func finishStages(res *Result, opts Options) {
 	// Stage 2a: de Bruijn graph construction (dense interned-ID/CSR core,
 	// pre-sized from the table so the build path never regrows).
-	start = time.Now()
+	start := time.Now()
 	if opts.MinCount > 1 {
 		entries := res.Table.FilterMinCount(opts.MinCount)
 		g := debruijn.NewGraphHint(opts.K, len(entries)+1, len(entries))
@@ -173,30 +192,52 @@ func Assemble(reads []*genome.Sequence, opts Options) (*Result, error) {
 		res.Scaffolds = ScaffoldContigs(res.Contigs, opts.MinOverlap)
 		res.Timings.Scaffold = time.Since(start)
 	}
+}
 
-	res.Counts = measureCounts(reads, opts.K, res)
-	return res, nil
+// workloadTotals are the whole-input aggregates feeding OpCounts; the
+// slice path measures them in one pass, the streaming path accumulates
+// them read by read.
+type workloadTotals struct {
+	reads int64 // read count
+	bases int64 // summed read length
+	kmers int64 // total k-mer occurrences
+}
+
+// add folds one read into the totals.
+func (t *workloadTotals) add(r *genome.Sequence, k int) {
+	t.reads++
+	t.bases += int64(r.Len())
+	if r.Len() >= k {
+		t.kmers += int64(r.Len() - k + 1)
+	}
+}
+
+// totalsOf measures a read slice in one pass.
+func totalsOf(reads []*genome.Sequence, k int) workloadTotals {
+	var t workloadTotals
+	for _, r := range reads {
+		t.add(r, k)
+	}
+	return t
 }
 
 // measureCounts extracts the operation counts of this run for the
 // analytical models.
-func measureCounts(reads []*genome.Sequence, k int, res *Result) OpCounts {
-	var total int64
-	for _, r := range reads {
-		if r.Len() >= k {
-			total += int64(r.Len() - k + 1)
-		}
-	}
+func measureCounts(t workloadTotals, res *Result) OpCounts {
 	probes := res.Table.ProbeOps()
 	avg := 1.0
-	if total > 0 {
-		avg = float64(probes) / float64(total)
+	if t.kmers > 0 {
+		avg = float64(probes) / float64(t.kmers)
+	}
+	readLen := 0
+	if t.reads > 0 {
+		readLen = int((t.bases + t.reads/2) / t.reads)
 	}
 	return OpCounts{
-		K:             k,
-		ReadCount:     int64(len(reads)),
-		ReadLen:       readLen(reads),
-		TotalKmers:    float64(total),
+		K:             res.Options.K,
+		ReadCount:     t.reads,
+		ReadLen:       readLen,
+		TotalKmers:    float64(t.kmers),
 		DistinctKmers: float64(res.Table.Len()),
 		AvgProbes:     avg,
 		Nodes:         float64(res.Graph.NumNodes()),
@@ -204,16 +245,4 @@ func measureCounts(reads []*genome.Sequence, k int, res *Result) OpCounts {
 		CounterBits:   32,
 		DegreeBits:    9,
 	}
-}
-
-// readLen returns the mean read length, rounded to the nearest base.
-func readLen(reads []*genome.Sequence) int {
-	if len(reads) == 0 {
-		return 0
-	}
-	var total int64
-	for _, r := range reads {
-		total += int64(r.Len())
-	}
-	return int((total + int64(len(reads))/2) / int64(len(reads)))
 }

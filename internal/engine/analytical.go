@@ -56,7 +56,7 @@ func (e analyticalEngine) Describe() string {
 }
 
 // Assemble implements Engine.
-func (e analyticalEngine) Assemble(ctx context.Context, reads []*genome.Sequence, opts Options) (*Report, error) {
+func (e analyticalEngine) Assemble(ctx context.Context, src genome.ReadSource, opts Options) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -67,7 +67,7 @@ func (e analyticalEngine) Assemble(ctx context.Context, reads []*genome.Sequence
 		counts := *opts.Counts
 		rep.Counts = &counts
 	} else {
-		res, err := assembly.Assemble(reads, opts.Options)
+		res, err := assembly.AssembleSource(src, opts.Options)
 		if err != nil {
 			return nil, err
 		}

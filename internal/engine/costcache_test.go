@@ -65,7 +65,7 @@ func TestCostCacheReportsIdentical(t *testing.T) {
 
 	run := func(opts Options) *Report {
 		t.Helper()
-		rep, err := eng.Assemble(ctx, reads, opts)
+		rep, err := eng.Assemble(ctx, genome.NewSliceSource(reads), opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -143,9 +143,11 @@ type Engine interface {
 	Name() string
 	// Describe is a one-line human description for listings.
 	Describe() string
-	// Assemble runs the workload. Cancellation is checked at stage
-	// boundaries; a cancelled context returns ctx.Err().
-	Assemble(ctx context.Context, reads []*genome.Sequence, opts Options) (*Report, error)
+	// Assemble runs the workload pulled from src. Slice callers wrap
+	// their reads in genome.NewSliceSource; src may be nil for counts-only
+	// analytical runs. Cancellation is checked at stage boundaries; a
+	// cancelled context returns ctx.Err().
+	Assemble(ctx context.Context, src genome.ReadSource, opts Options) (*Report, error)
 }
 
 // score fills rep.Quality when a reference was provided.

@@ -115,7 +115,7 @@ func TestConformanceAllEngines(t *testing.T) {
 	for _, e := range Engines() {
 		e := e
 		t.Run(e.Name(), func(t *testing.T) {
-			rep, err := e.Assemble(ctx, reads, opts)
+			rep, err := e.Assemble(ctx, genome.NewSliceSource(reads), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -197,11 +197,11 @@ func TestSoftwareAndPIMEnginesEmitIdenticalContigs(t *testing.T) {
 	opts := conformanceOptions(ref)
 	ctx := context.Background()
 
-	sw, err := mustLookup(t, "software").Assemble(ctx, reads, opts)
+	sw, err := mustLookup(t, "software").Assemble(ctx, genome.NewSliceSource(reads), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pim, err := mustLookup(t, "pim").Assemble(ctx, reads, opts)
+	pim, err := mustLookup(t, "pim").Assemble(ctx, genome.NewSliceSource(reads), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestAnalyticalEnginesMatchPerfmodel(t *testing.T) {
 	opts := conformanceOptions(ref)
 	ctx := context.Background()
 
-	sw, err := mustLookup(t, "software").Assemble(ctx, reads, opts)
+	sw, err := mustLookup(t, "software").Assemble(ctx, genome.NewSliceSource(reads), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestAnalyticalEnginesMatchPerfmodel(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			want := perfmodel.AssemblyCost(spec, counts)
 
-			rep, err := mustLookup(t, name).Assemble(ctx, reads, opts)
+			rep, err := mustLookup(t, name).Assemble(ctx, genome.NewSliceSource(reads), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -260,7 +260,7 @@ func TestAnalyticalEnginesMatchPerfmodel(t *testing.T) {
 
 func TestEstimateAllCoversEveryPlatformInOrder(t *testing.T) {
 	_, reads := conformanceWorkload()
-	sw, err := mustLookup(t, "software").Assemble(context.Background(), reads, Options{Options: assembly.Options{K: 16}})
+	sw, err := mustLookup(t, "software").Assemble(context.Background(), genome.NewSliceSource(reads), Options{Options: assembly.Options{K: 16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestEnginesRespectContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, e := range Engines() {
-		if _, err := e.Assemble(ctx, reads, Options{Options: assembly.Options{K: 16}}); err == nil {
+		if _, err := e.Assemble(ctx, genome.NewSliceSource(reads), Options{Options: assembly.Options{K: 16}}); err == nil {
 			t.Errorf("engine %s ignored a cancelled context", e.Name())
 		}
 	}

@@ -22,8 +22,14 @@ func (pimEngine) Describe() string {
 }
 
 // Assemble implements Engine.
-func (e pimEngine) Assemble(ctx context.Context, reads []*genome.Sequence, opts Options) (*Report, error) {
+func (e pimEngine) Assemble(ctx context.Context, src genome.ReadSource, opts Options) (*Report, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The simulated sub-array loader addresses reads by bank slot, so the
+	// functional engine drains the source up front.
+	reads, err := genome.ReadAll(src)
+	if err != nil {
 		return nil, err
 	}
 	p := core.NewDefaultPlatform()

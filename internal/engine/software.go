@@ -19,11 +19,11 @@ func (softwareEngine) Describe() string {
 }
 
 // Assemble implements Engine.
-func (e softwareEngine) Assemble(ctx context.Context, reads []*genome.Sequence, opts Options) (*Report, error) {
+func (e softwareEngine) Assemble(ctx context.Context, src genome.ReadSource, opts Options) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := assembly.Assemble(reads, opts.Options)
+	res, err := assembly.AssembleSource(src, opts.Options)
 	if err != nil {
 		return nil, err
 	}

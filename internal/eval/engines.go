@@ -8,6 +8,7 @@ import (
 	"pimassembler/internal/assembly"
 	"pimassembler/internal/debruijn"
 	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
 	"pimassembler/internal/jobqueue"
 	"pimassembler/internal/parallel"
 )
@@ -50,7 +51,9 @@ func CrossEngine() []EngineRow {
 	names := engine.Names()
 	specs := make([]jobqueue.Spec, len(names))
 	for i, name := range names {
-		specs[i] = jobqueue.Spec{Name: name, Engine: name, Reads: reads, Opts: opts}
+		// Each spec gets its own source: sources carry a cursor, so jobs
+		// must never share one even over the same underlying slice.
+		specs[i] = jobqueue.Spec{Name: name, Engine: name, Source: genome.NewSliceSource(reads), Opts: opts}
 	}
 	q := jobqueue.New(engine.Default(), jobqueue.WithWorkers(parallel.Workers()))
 	results := q.Run(context.Background(), specs)

@@ -8,6 +8,7 @@ import (
 	"pimassembler/internal/assembly"
 	"pimassembler/internal/debruijn"
 	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
 	"pimassembler/internal/shard"
 )
 
@@ -48,7 +49,7 @@ func ShardSweep() []ShardRow {
 	if err != nil {
 		panic(err)
 	}
-	base, err := sw.Assemble(context.Background(), reads, opts)
+	base, err := sw.Assemble(context.Background(), genome.NewSliceSource(reads), opts)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSpillSweepInvariants pins E19's headline claims: every shard count
+// assembles out-of-core to contigs identical to both the unsharded
+// reference and the in-memory sharded run, the summed workload counts and
+// spill bytes do not depend on the shard count, and the 32-read resident
+// cap forced evictions on every row.
+func TestSpillSweepInvariants(t *testing.T) {
+	rows := SpillSweep()
+	if len(rows) != 4 {
+		t.Fatalf("got %d sweep rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("shards=%d: %s", r.Shards, r.Err)
+		}
+		if !r.Identical {
+			t.Errorf("shards=%d: spill contigs differ from the unsharded reference", r.Shards)
+		}
+		if !r.MatchesInMemory {
+			t.Errorf("shards=%d: spill contigs differ from the in-memory sharded run", r.Shards)
+		}
+		if r.ReadCount != rows[0].ReadCount {
+			t.Errorf("shards=%d: ReadCount %d, want %d", r.Shards, r.ReadCount, rows[0].ReadCount)
+		}
+		if r.TotalKmers != rows[0].TotalKmers {
+			t.Errorf("shards=%d: TotalKmers %.0f, want %.0f", r.Shards, r.TotalKmers, rows[0].TotalKmers)
+		}
+		if r.SpillBytes != rows[0].SpillBytes {
+			t.Errorf("shards=%d: SpillBytes %d, want %d (partition-shape-invariant)", r.Shards, r.SpillBytes, rows[0].SpillBytes)
+		}
+		if r.Evictions <= 0 {
+			t.Errorf("shards=%d: no evictions under the %d-read cap", r.Shards, spillResident)
+		}
+	}
+}
+
+func TestRenderSpillMarkers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSpill(&buf)
+	out := buf.String()
+	for _, marker := range []string{"E19", "out-of-core spill sweep", "identical", "in-memory", "evictions", "DESIGN.md §15"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("RenderSpill output missing %q", marker)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Error("RenderSpill reports a non-identical merge")
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Error("RenderSpill reports a failed configuration")
+	}
+}

@@ -1,6 +1,7 @@
 package genome
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -86,6 +87,70 @@ func FuzzReadFASTQ(f *testing.F) {
 			// never swallows a line break.
 			if strings.ContainsAny(r.Name, "\r\n") {
 				t.Fatalf("record name %q crosses a line boundary", r.Name)
+			}
+		}
+	})
+}
+
+// FuzzSpillRoundTrip is the spill-format invariant behind the shard
+// layer's out-of-core path: any record stream the scanner accepts — FASTA
+// or FASTQ, CRLF or not — survives RecordWriter serialisation and a FASTA
+// re-scan with names and sequences intact. (Quality strings are dropped by
+// design; the assembly pipeline never reads them.)
+func FuzzSpillRoundTrip(f *testing.F) {
+	for _, seed := range []struct {
+		s     string
+		fastq bool
+	}{
+		{">x\nACGT\n>y\nTT\n", false},
+		{">long\n" + strings.Repeat("ACGTACGT", 40) + "\n", false}, // wraps at 70 cols
+		{">crlf\r\nACGT\r\n", false},
+		{">x\nACGT", false}, // no final newline
+		{"@r\nACGT\n+\nIIII\n", true},
+		{"@r\r\nACGT\r\n+\r\nIIII\r\n", true},
+		{"@a\nAC\n+\nII\n@b\nGGGG\n+\nIIII\n", true},
+		{"", false},
+	} {
+		f.Add(seed.s, seed.fastq)
+	}
+	f.Fuzz(func(t *testing.T, s string, fastq bool) {
+		format := FormatFASTA
+		if fastq {
+			format = FormatFASTQ
+		}
+		var recs []Record
+		if err := ScanRecords(strings.NewReader(s), format, func(r Record) error {
+			recs = append(recs, r)
+			return nil
+		}); err != nil || len(recs) == 0 {
+			return // rejected or empty input has nothing to spill
+		}
+		var spill bytes.Buffer
+		rw := NewRecordWriter(&spill)
+		for _, r := range recs {
+			if err := rw.Write(r); err != nil {
+				t.Fatalf("spill write: %v", err)
+			}
+		}
+		if err := rw.Flush(); err != nil {
+			t.Fatalf("spill flush: %v", err)
+		}
+		var back []Record
+		if err := ScanRecords(bytes.NewReader(spill.Bytes()), FormatFASTA, func(r Record) error {
+			back = append(back, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("re-scan of spilled records failed: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("%d records out of the spill, %d in", len(back), len(recs))
+		}
+		for i := range recs {
+			if back[i].Name != recs[i].Name {
+				t.Fatalf("record %d name %q -> %q across the spill", i, recs[i].Name, back[i].Name)
+			}
+			if !back[i].Seq.Equal(recs[i].Seq) {
+				t.Fatalf("record %d sequence changed across the spill", i)
 			}
 		}
 	})

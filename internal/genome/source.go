@@ -1,0 +1,223 @@
+package genome
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadSource is the streaming iterator the whole read path consumes: the
+// engine layer, the job queue, and the shard dispatcher all pull reads one
+// at a time instead of materialising []*Sequence, so resident memory is
+// bounded by the consumer's working set, not the input size.
+//
+// Next returns the next read, or io.EOF (verbatim, never wrapped) after the
+// last one. Any other error is a real failure; after it, further Next calls
+// return the same error. A nil ReadSource is a valid empty workload for
+// consumers that accept one (e.g. counts-only analytical engine runs).
+//
+// Sources that can rewind additionally implement
+//
+//	interface{ Reset() error }
+//
+// which the job queue requires before re-running a retry attempt.
+type ReadSource interface {
+	Next() (*Sequence, error)
+}
+
+// SliceSource adapts an in-memory read slice to ReadSource — the
+// compatibility wrapper for every caller that already holds []*Sequence.
+// It aliases the slice (no copying) and is resettable, so retried jobs
+// replay it from the start.
+type SliceSource struct {
+	reads []*Sequence
+	next  int
+}
+
+// NewSliceSource wraps reads (which may be empty or nil).
+func NewSliceSource(reads []*Sequence) *SliceSource {
+	return &SliceSource{reads: reads}
+}
+
+// Next implements ReadSource.
+func (s *SliceSource) Next() (*Sequence, error) {
+	if s.next >= len(s.reads) {
+		return nil, io.EOF
+	}
+	r := s.reads[s.next]
+	s.next++
+	return r, nil
+}
+
+// Reset rewinds to the first read.
+func (s *SliceSource) Reset() error {
+	s.next = 0
+	return nil
+}
+
+// ScannerSource adapts a streaming Scanner to ReadSource, discarding record
+// names: the bounded-memory ingestion path feeding the engine layer
+// directly. It is not resettable (the underlying reader cannot rewind);
+// wrap a file in a FileSource when retries must replay.
+type ScannerSource struct {
+	sc  *Scanner
+	err error
+}
+
+// NewScannerSource wraps an existing Scanner mid-stream; records already
+// consumed are not replayed.
+func NewScannerSource(sc *Scanner) *ScannerSource {
+	return &ScannerSource{sc: sc}
+}
+
+// Next implements ReadSource.
+func (s *ScannerSource) Next() (*Sequence, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.sc.Scan() {
+		return s.sc.Record().Seq, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = err
+		return nil, err
+	}
+	s.err = io.EOF
+	return nil, io.EOF
+}
+
+// FileSource streams reads from a FASTA/FASTQ file (format by extension,
+// as DetectFormat). The file opens eagerly — a bad path fails at
+// construction, not mid-assembly — and closes itself at EOF or on the
+// first scan error, so a fully drained source leaks no descriptor even if
+// the consumer never calls Close. It is resettable: Reset reopens the file
+// and scans from the top, which is how spill-backed shard jobs survive
+// queue retries.
+type FileSource struct {
+	path   string
+	format Format
+	f      *os.File
+	src    *ScannerSource
+	err    error
+}
+
+// OpenFileSource opens path for streaming.
+func OpenFileSource(path string) (*FileSource, error) {
+	fs := &FileSource{path: path, format: DetectFormat(path)}
+	if err := fs.open(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (s *FileSource) open() error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("genome: open read source: %w", err)
+	}
+	s.f = f
+	s.src = NewScannerSource(NewScanner(f, s.format))
+	s.err = nil
+	return nil
+}
+
+// Next implements ReadSource.
+func (s *FileSource) Next() (*Sequence, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	r, err := s.src.Next()
+	if err != nil {
+		s.err = err
+		s.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close releases the file. It is idempotent; Next after Close returns
+// io.EOF if the stream had drained, the sticky error otherwise.
+func (s *FileSource) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	f := s.f
+	s.f = nil
+	if s.err == nil {
+		s.err = io.EOF
+	}
+	return f.Close()
+}
+
+// Reset reopens the file and restarts from the first record.
+func (s *FileSource) Reset() error {
+	s.Close()
+	return s.open()
+}
+
+// concatSource chains sources end to end.
+type concatSource struct {
+	srcs []ReadSource
+	idx  int
+}
+
+// Concat returns a ReadSource yielding every read of each source in turn,
+// advancing past each child's io.EOF. It is resettable iff every child is.
+func Concat(srcs ...ReadSource) ReadSource {
+	return &concatSource{srcs: srcs}
+}
+
+// Next implements ReadSource.
+func (c *concatSource) Next() (*Sequence, error) {
+	for c.idx < len(c.srcs) {
+		if c.srcs[c.idx] == nil {
+			c.idx++
+			continue
+		}
+		r, err := c.srcs[c.idx].Next()
+		if err == io.EOF {
+			c.idx++
+			continue
+		}
+		return r, err
+	}
+	return nil, io.EOF
+}
+
+// Reset rewinds every child; it fails on the first non-resettable one.
+func (c *concatSource) Reset() error {
+	for _, src := range c.srcs {
+		if src == nil {
+			continue
+		}
+		r, ok := src.(interface{ Reset() error })
+		if !ok {
+			return fmt.Errorf("genome: concat source: child %T is not resettable", src)
+		}
+		if err := r.Reset(); err != nil {
+			return err
+		}
+	}
+	c.idx = 0
+	return nil
+}
+
+// ReadAll drains src into a slice — the bridge for consumers that still
+// need random access (the functional PIM engine's sub-array loader). A nil
+// src yields a nil slice.
+func ReadAll(src ReadSource) ([]*Sequence, error) {
+	if src == nil {
+		return nil, nil
+	}
+	var reads []*Sequence
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return reads, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		reads = append(reads, r)
+	}
+}

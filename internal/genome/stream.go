@@ -218,7 +218,10 @@ func (s *Scanner) scanFASTQ() bool {
 		s.err = fmt.Errorf("genome: line %d: record %q: %w", seqLine, header, err)
 		return false
 	}
-	s.rec = Record{Name: strings.TrimPrefix(header, "@"), Seq: seq}
+	// Trim the name exactly as the FASTA path does, so a record's name is
+	// format-independent and survives a FASTA re-serialisation (the spill
+	// round-trip) byte-identically.
+	s.rec = Record{Name: strings.TrimSpace(strings.TrimPrefix(header, "@")), Seq: seq}
 	return true
 }
 

@@ -1,6 +1,6 @@
 // Package jobqueue serves concurrent assembly jobs over the engine
-// registry: a bounded worker pool dispatches (reads, engine-name) pairs
-// onto engine workers, each job running under its own context with a
+// registry: a bounded worker pool dispatches (read-source, engine-name)
+// pairs onto engine workers, each job running under its own context with a
 // per-attempt timeout, cancellation at stage boundaries, and deterministic
 // retry-with-backoff for transient failures. This is the scaling shape the
 // near-memory assembly literature argues for (many workloads multiplexed
@@ -125,8 +125,12 @@ type Spec struct {
 	// Engine is the registry name of the execution path (see
 	// engine.Names).
 	Engine string
-	// Reads is the workload (may be nil for counts-only analytical jobs).
-	Reads []*genome.Sequence
+	// Source is the workload's read stream (may be nil for counts-only
+	// analytical jobs); wrap an in-memory slice in genome.NewSliceSource.
+	// Jobs with a retry budget need a resettable source (one implementing
+	// Reset() error, like SliceSource or FileSource): the queue rewinds it
+	// before every re-attempt, and fails the job terminally if it cannot.
+	Source genome.ReadSource
 	// Opts configures the engine run.
 	Opts engine.Options
 	// Timeout bounds each attempt when positive; an attempt that exceeds
@@ -272,6 +276,18 @@ func (q *Queue) runJob(ctx context.Context, slot int, spec Spec, submitted time.
 
 	budget := spec.Retry.attempts()
 	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			// A retry replays the workload from the start; a source that
+			// cannot rewind would re-run the attempt over an exhausted
+			// stream, so it fails the job terminally instead.
+			if err := resetSource(spec.Source); err != nil {
+				res.Err = err
+				res.Run = time.Since(started)
+				q.observeLatency(&res)
+				q.finish(slot, &res, StateFailed)
+				return res
+			}
+		}
 		res.Attempts = attempt
 		q.count("jobs.attempts", 1)
 		rep, err := q.runAttempt(ctx, eng, spec)
@@ -316,7 +332,23 @@ func (q *Queue) runAttempt(ctx context.Context, eng engine.Engine, spec Spec) (*
 		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
 		defer cancel()
 	}
-	return eng.Assemble(ctx, spec.Reads, spec.Opts)
+	return eng.Assemble(ctx, spec.Source, spec.Opts)
+}
+
+// resetSource rewinds a job's read source before a retry attempt. A nil
+// source needs no rewind; a non-resettable one is a terminal error.
+func resetSource(src genome.ReadSource) error {
+	if src == nil {
+		return nil
+	}
+	r, ok := src.(interface{ Reset() error })
+	if !ok {
+		return fmt.Errorf("jobqueue: cannot retry: read source %T is not resettable", src)
+	}
+	if err := r.Reset(); err != nil {
+		return fmt.Errorf("jobqueue: resetting read source for retry: %w", err)
+	}
+	return nil
 }
 
 // transition records a non-terminal lifecycle step.

@@ -32,12 +32,12 @@ func manifest() []jobqueue.Spec {
 	opts := engine.Options{Options: assembly.Options{K: 16}, Subarrays: 16}
 	counts := assembly.PaperOpCounts(genome.PaperChr14(), 16)
 	return []jobqueue.Spec{
-		{Engine: "software", Reads: a, Opts: opts},
-		{Engine: "pim", Reads: a, Opts: opts},
-		{Engine: "pim-assembler", Reads: b, Opts: opts},
+		{Engine: "software", Source: genome.NewSliceSource(a), Opts: opts},
+		{Engine: "pim", Source: genome.NewSliceSource(a), Opts: opts},
+		{Engine: "pim-assembler", Source: genome.NewSliceSource(b), Opts: opts},
 		{Engine: "drisa-3t1c", Opts: engine.Options{Counts: &counts}},
-		{Engine: "software", Reads: b, Opts: opts},
-		{Engine: "gpu", Reads: b, Opts: opts},
+		{Engine: "software", Source: genome.NewSliceSource(b), Opts: opts},
+		{Engine: "gpu", Source: genome.NewSliceSource(b), Opts: opts},
 	}
 }
 
@@ -55,9 +55,10 @@ func canonical(rep *engine.Report) *engine.Report {
 // TestRunDeterministic pins the queue's determinism rule: a fixed manifest
 // yields identical per-job Reports in slot order for any worker count.
 func TestRunDeterministic(t *testing.T) {
-	specs := manifest()
 	var baseline []jobqueue.Result
 	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		// Sources carry a cursor, so every run gets a fresh manifest.
+		specs := manifest()
 		q := jobqueue.New(nil, jobqueue.WithWorkers(workers))
 		results := q.Run(context.Background(), specs)
 		if len(results) != len(specs) {
@@ -98,7 +99,7 @@ type fakeEngine struct {
 
 func (e fakeEngine) Name() string     { return e.name }
 func (e fakeEngine) Describe() string { return "test stub" }
-func (e fakeEngine) Assemble(ctx context.Context, _ []*genome.Sequence, _ engine.Options) (*engine.Report, error) {
+func (e fakeEngine) Assemble(ctx context.Context, _ genome.ReadSource, _ engine.Options) (*engine.Report, error) {
 	return e.fn(ctx)
 }
 

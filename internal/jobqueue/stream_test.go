@@ -21,9 +21,10 @@ import (
 // incrementally yield the same slot-ordered, bit-identical results as a
 // batch Run, for any worker count.
 func TestStreamDeterministicSlotOrder(t *testing.T) {
-	specs := manifest()
-	baseline := jobqueue.New(nil, jobqueue.WithWorkers(1)).Run(context.Background(), specs)
+	baseline := jobqueue.New(nil, jobqueue.WithWorkers(1)).Run(context.Background(), manifest())
 	for _, workers := range []int{1, 3, runtime.NumCPU()} {
+		// Sources carry a cursor, so every run gets a fresh manifest.
+		specs := manifest()
 		q := jobqueue.New(nil, jobqueue.WithWorkers(workers))
 		st := q.Stream(context.Background())
 		for i, spec := range specs {
@@ -266,7 +267,7 @@ type optionProbe struct {
 	got *engine.Options
 }
 
-func (p optionProbe) Assemble(ctx context.Context, reads []*genome.Sequence, opts engine.Options) (*engine.Report, error) {
+func (p optionProbe) Assemble(ctx context.Context, src genome.ReadSource, opts engine.Options) (*engine.Report, error) {
 	*p.got = opts
-	return p.fakeEngine.Assemble(ctx, reads, opts)
+	return p.fakeEngine.Assemble(ctx, src, opts)
 }

@@ -7,6 +7,7 @@ import (
 
 	"pimassembler/internal/assembly"
 	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
 	"pimassembler/internal/shard"
 )
 
@@ -21,7 +22,7 @@ func TestOneShardByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := sw.Assemble(context.Background(), reads, opts)
+	base, err := sw.Assemble(context.Background(), genome.NewSliceSource(reads), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestShardCountInvariance(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			base, err := sw.Assemble(context.Background(), reads, opts)
+			base, err := sw.Assemble(context.Background(), genome.NewSliceSource(reads), opts)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -65,6 +65,14 @@ type Plan struct {
 	// Timeout and Retry carry the job queue's per-shard attempt controls.
 	Timeout time.Duration
 	Retry   jobqueue.RetryPolicy
+	// MaxResidentReads caps how many reads the spill-backed path
+	// (AssembleSpill) admits into flight at once across all shards
+	// (<= 0 means DefaultMaxResidentReads). The in-memory Assemble,
+	// which already holds every read, ignores it.
+	MaxResidentReads int
+	// Counters optionally collects the job queue's jobs.*/latency.*
+	// instrumentation for the dispatch (nil = uninstrumented).
+	Counters *metrics.Counters
 }
 
 // engines returns the effective engine list.
@@ -86,6 +94,15 @@ func (p Plan) registry() *engine.Registry {
 // Split partitions reads into n deterministic contiguous shards whose sizes
 // differ by at most one. n is clamped to [1, len(reads)], so every returned
 // shard is non-empty; the shards alias the input slice (no copying).
+//
+// Contiguous-assignment contract: shard i is exactly the subslice
+// reads[i*len(reads)/n : (i+1)*len(reads)/n] — each shard slice is
+// allocated at its final size (never grown by append), concatenating the
+// shards in index order reproduces the input order, and the assignment
+// depends only on (len(reads), n), never on read contents. The streaming
+// spill partitioner routes the same multiset of reads with a different
+// (round-robin) shape; the merge algebra above is what makes the merged
+// output invariant to that difference.
 func Split(reads []*genome.Sequence, n int) [][]*genome.Sequence {
 	if len(reads) == 0 {
 		return nil
@@ -145,7 +162,7 @@ func Assemble(ctx context.Context, reads []*genome.Sequence, plan Plan) (*Result
 	}
 
 	shards := Split(reads, plan.Shards)
-	q := jobqueue.New(reg, jobqueue.WithWorkers(plan.Workers))
+	q := jobqueue.New(reg, jobqueue.WithWorkers(plan.Workers), jobqueue.WithCounters(plan.Counters))
 	st := q.Stream(ctx)
 	names := make([]string, len(shards))
 	for i, sh := range shards {
@@ -153,7 +170,7 @@ func Assemble(ctx context.Context, reads []*genome.Sequence, plan Plan) (*Result
 		if _, err := st.Submit(jobqueue.Spec{
 			Name:    fmt.Sprintf("shard-%d", i),
 			Engine:  names[i],
-			Reads:   sh,
+			Source:  genome.NewSliceSource(sh),
 			Opts:    plan.Opts,
 			Timeout: plan.Timeout,
 			Retry:   plan.Retry,
@@ -163,9 +180,16 @@ func Assemble(ctx context.Context, reads []*genome.Sequence, plan Plan) (*Result
 	}
 
 	res := &Result{Engines: names, PerShard: make([]*engine.Report, len(shards))}
+	return finishRun(st, res, plan)
+}
+
+// finishRun drains the dispatch stream into res, aggregates the
+// family-specific accounting, and merges the per-shard reports — the
+// shared tail of the in-memory and spill-backed entry points.
+func finishRun(st *jobqueue.Stream, res *Result, plan Plan) (*Result, error) {
 	for i, r := range st.Drain() {
 		if r.Err != nil {
-			return nil, fmt.Errorf("shard %d (engine %s): %w", i, names[i], r.Err)
+			return nil, fmt.Errorf("shard %d (engine %s): %w", i, res.Engines[i], r.Err)
 		}
 		res.PerShard[i] = r.Report
 	}

@@ -97,7 +97,7 @@ type failingEngine struct{ err error }
 
 func (failingEngine) Name() string     { return "failing" }
 func (failingEngine) Describe() string { return "always fails" }
-func (e failingEngine) Assemble(context.Context, []*genome.Sequence, engine.Options) (*engine.Report, error) {
+func (e failingEngine) Assemble(context.Context, genome.ReadSource, engine.Options) (*engine.Report, error) {
 	return nil, e.err
 }
 
@@ -125,7 +125,7 @@ func TestHeterogeneousEngines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := sw.Assemble(context.Background(), reads, opts)
+	base, err := sw.Assemble(context.Background(), genome.NewSliceSource(reads), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
