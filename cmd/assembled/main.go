@@ -1,0 +1,127 @@
+// Command assembled is the long-lived assembly daemon: an HTTP front door
+// over the concurrent job queue. Clients POST read sets to /v1/jobs, poll
+// /v1/jobs/{id}, and fetch contig FASTA from /v1/jobs/{id}/contigs; the
+// daemon enforces a bounded admission budget (global and per tenant via the
+// X-API-Key header), dispatches tenants round-robin, exports Prometheus
+// metrics on /metrics, and drains gracefully on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	assembled [-addr 127.0.0.1:8080] [-workers N] [-max-pending N]
+//	          [-max-pending-per-tenant N] [-timeout DUR] [-retries N]
+//	          [-backoff DUR] [-drain-timeout DUR]
+//
+// Exit codes: 0 after a clean drain, 1 on a serve failure, 2 on usage
+// errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pimassembler/internal/jobqueue"
+	"pimassembler/internal/service"
+)
+
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sigs))
+}
+
+// run is the testable main: parse flags, serve until a shutdown signal,
+// drain, and return the process exit code. The daemon prints exactly one
+// "listening on" line once the socket is bound, so drivers can scrape the
+// resolved address when -addr uses port 0.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("assembled", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		workers   = fs.Int("workers", 0, "concurrent assembly jobs (0 = GOMAXPROCS)")
+		maxPend   = fs.Int("max-pending", service.DefaultMaxPending, "global admission budget: queued+running jobs before 429")
+		maxTenant = fs.Int("max-pending-per-tenant", service.DefaultMaxPendingPerTenant, "per-tenant admission budget before 429")
+		timeout   = fs.Duration("timeout", 0, "default per-attempt job timeout (0 = none; requests may override)")
+		retries   = fs.Int("retries", 0, "retry budget for transient job failures (total attempts = retries+1)")
+		backoff   = fs.Duration("backoff", 50*time.Millisecond, "delay before the first retry (doubles per attempt)")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown before cancellation")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: assembled [flags]")
+		fmt.Fprintln(stderr, "\nexit codes: 0 clean drain; 1 serve failure; 2 usage error")
+		fmt.Fprintln(stderr, "\nflags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "assembled: unexpected arguments: %v\n", fs.Args())
+		return exitUsage
+	}
+	if *maxPend < 1 || *maxTenant < 1 {
+		fmt.Fprintln(stderr, "assembled: -max-pending and -max-pending-per-tenant must be >= 1")
+		return exitUsage
+	}
+
+	srv := service.New(service.Config{
+		Workers:             *workers,
+		MaxPending:          *maxPend,
+		MaxPendingPerTenant: *maxTenant,
+		DefaultTimeout:      *timeout,
+		Retry: jobqueue.RetryPolicy{
+			MaxAttempts: *retries + 1,
+			Backoff:     *backoff,
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "assembled:", err)
+		return exitRuntime
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "assembled: listening on http://%s (workers=%d, max-pending=%d, per-tenant=%d)\n",
+		ln.Addr(), srv.Workers(), srv.MaxPending(), srv.MaxPendingPerTenant())
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "assembled: received %v, draining (grace %v, %d pending)\n",
+			sig, *drainTO, srv.Pending())
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "assembled:", err)
+		return exitRuntime
+	}
+
+	// Stop admitting first so late POSTs get 503 instead of racing the
+	// listener teardown, then let in-flight jobs finish inside the grace
+	// period, then shut the HTTP server down.
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	stats := srv.Drain(dctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "assembled: shutdown:", err)
+	}
+	fmt.Fprintf(stdout, "assembled: drained (%s)\n", stats)
+	return exitOK
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"pimassembler/internal/service"
+)
+
+// syncBuffer guards a bytes.Buffer so the daemon goroutine and the test
+// can touch it concurrently.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// startDaemon runs the daemon on a free port and returns its base URL, the
+// signal channel, stdout, and the exit-code channel.
+func startDaemon(t *testing.T, args []string) (string, chan os.Signal, *syncBuffer, chan int) {
+	t.Helper()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	sigs := make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	go func() { code <- run(args, stdout, stderr, sigs) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			return m[1], sigs, stdout, code
+		}
+		select {
+		case c := <-code:
+			t.Fatalf("daemon exited %d before listening\nstdout: %s\nstderr: %s", c, stdout.String(), stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never printed listen line\nstderr: %s", stderr.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDaemonServesAndDrains boots the daemon, runs one job end to end over
+// HTTP, sends SIGTERM, and pins the clean-drain exit code and log lines.
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, sigs, stdout, code := startDaemon(t, []string{"-addr", "127.0.0.1:0", "-workers", "2"})
+	c := &service.Client{BaseURL: base}
+	ctx := context.Background()
+
+	if ok, err := c.Healthz(ctx); err != nil || !ok {
+		t.Fatalf("healthz: ok=%v err=%v", ok, err)
+	}
+	st, err := c.Submit(ctx, service.SubmitRequest{
+		Engine: "software",
+		Reads:  ">r0\nACGTACGTACGTACGTACGTACGT\n>r1\nCGTACGTACGTACGTACGTACGTA\n",
+		K:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("job state %q (err %q)", final.State, final.Error)
+	}
+	if _, err := c.Contigs(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["pim_jobs_done_total"] != 1 {
+		t.Fatalf("pim_jobs_done_total = %v, want 1", samples["pim_jobs_done_total"])
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case got := <-code:
+		if got != exitOK {
+			t.Fatalf("exit code %d, want %d\n%s", got, exitOK, stdout.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM\n%s", stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"received terminated, draining", "assembled: drained ("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDaemonUsageErrors pins exit code 2 on bad flags.
+func TestDaemonUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-max-pending", "0"},
+		{"-max-pending-per-tenant", "0"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := run(args, &stdout, &stderr, make(chan os.Signal)); got != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, got, exitUsage)
+		}
+	}
+}
+
+// TestDaemonBindFailure pins exit code 1 when the address is unusable.
+func TestDaemonBindFailure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-addr", "256.0.0.1:0"}, &stdout, &stderr, make(chan os.Signal)); got != exitRuntime {
+		t.Errorf("run with bad addr = %d, want %d (stderr %s)", got, exitRuntime, stderr.String())
+	}
+}

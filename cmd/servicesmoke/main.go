@@ -1,0 +1,200 @@
+// Command servicesmoke is the CI smoke test for the assembled daemon, run
+// by `make service-smoke`. It builds the real binaries, boots assembled on
+// a random port, drives one job over the wire, and pins the daemon's three
+// external contracts:
+//
+//  1. the contig FASTA served by /v1/jobs/{id}/contigs is byte-identical
+//     to what cmd/assemble writes for the same reads,
+//  2. /metrics parses as strict Prometheus text exposition and carries the
+//     queue counters,
+//  3. SIGTERM drains cleanly: the process logs the drain and exits 0.
+//
+// Exit code 0 when every check passes, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"syscall"
+	"time"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/service"
+	"pimassembler/internal/stats"
+)
+
+func main() {
+	if err := smoke(); err != nil {
+		fmt.Fprintln(os.Stderr, "service-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("service-smoke: OK")
+}
+
+// lockedBuffer collects subprocess stdout safely across goroutines.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+func smoke() error {
+	dir, err := os.MkdirTemp("", "servicesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Build the two real binaries exactly as a release would.
+	assembled := filepath.Join(dir, "assembled")
+	assemble := filepath.Join(dir, "assemble")
+	for pkg, bin := range map[string]string{"./cmd/assembled": assembled, "./cmd/assemble": assemble} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Deterministic workload shared by both paths.
+	readsPath := filepath.Join(dir, "reads.fasta")
+	readsText, err := writeReads(readsPath, 99, 2500, 150)
+	if err != nil {
+		return err
+	}
+
+	// Boot the daemon on a random port and scrape the resolved address.
+	stdout := &lockedBuffer{}
+	daemon := exec.Command(assembled, "-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "30s")
+	daemon.Stdout = stdout
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start assembled: %v", err)
+	}
+	defer daemon.Process.Kill()
+	base, err := waitForListen(stdout, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println("service-smoke: daemon at", base)
+
+	// One job over the wire.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := &service.Client{BaseURL: base, APIKey: "smoke"}
+	st, err := c.Submit(ctx, service.SubmitRequest{Engine: "software", Reads: readsText, K: 16})
+	if err != nil {
+		return fmt.Errorf("submit: %v", err)
+	}
+	final, err := c.Wait(ctx, st.ID, 0)
+	if err != nil {
+		return fmt.Errorf("wait: %v", err)
+	}
+	if final.State != "done" {
+		return fmt.Errorf("job finished %q (error %q), want done", final.State, final.Error)
+	}
+	served, err := c.Contigs(ctx, st.ID)
+	if err != nil {
+		return fmt.Errorf("contigs: %v", err)
+	}
+	fmt.Printf("service-smoke: job %s done: %d contigs, N50=%d\n", final.ID, final.Contigs, final.N50)
+
+	// Same reads through the offline binary must yield the same bytes.
+	directOut := filepath.Join(dir, "direct.fasta")
+	cmd := exec.Command(assemble, "-in", readsPath, "-k", "16", "-out", directOut)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("assemble: %v\n%s", err, out)
+	}
+	direct, err := os.ReadFile(directOut)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(served, direct) {
+		return fmt.Errorf("served contigs (%d bytes) differ from cmd/assemble output (%d bytes)",
+			len(served), len(direct))
+	}
+	fmt.Printf("service-smoke: contigs byte-identical to cmd/assemble (%d bytes)\n", len(served))
+
+	// Metrics must parse strictly and account for the job.
+	samples, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	if got := samples["pim_jobs_done_total"]; got != 1 {
+		return fmt.Errorf("pim_jobs_done_total = %v, want 1", got)
+	}
+	if _, ok := samples["pim_service_pending"]; !ok {
+		return fmt.Errorf("pim_service_pending gauge missing from /metrics")
+	}
+	fmt.Printf("service-smoke: /metrics parsed (%d samples)\n", len(samples))
+
+	// SIGTERM must drain cleanly: exit 0 and a drain log line.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v\n%s", err, stdout.String())
+		}
+	case <-time.After(45 * time.Second):
+		return fmt.Errorf("daemon did not exit within 45s of SIGTERM\n%s", stdout.String())
+	}
+	if !bytes.Contains([]byte(stdout.String()), []byte("drained")) {
+		return fmt.Errorf("daemon stdout missing drain log:\n%s", stdout.String())
+	}
+	fmt.Println("service-smoke: SIGTERM drained cleanly (exit 0)")
+	return nil
+}
+
+// writeReads samples a deterministic read set, writes it to path, and
+// returns the FASTA text for the HTTP submission.
+func writeReads(path string, seed uint64, genomeLen, reads int) (string, error) {
+	rng := stats.NewRNG(seed)
+	ref := genome.GenerateGenome(genomeLen, rng)
+	seqs := genome.NewReadSampler(ref, 101, 0, rng).Sample(reads)
+	records := make([]genome.Record, len(seqs))
+	for i, s := range seqs {
+		records[i] = genome.Record{Name: fmt.Sprintf("r%d", i), Seq: s}
+	}
+	var buf bytes.Buffer
+	if err := genome.WriteFASTA(&buf, records); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// waitForListen polls the daemon's stdout for the listen line.
+func waitForListen(stdout *lockedBuffer, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			return m[1], nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "", fmt.Errorf("daemon never printed its listen line within %v:\n%s", timeout, stdout.String())
+}

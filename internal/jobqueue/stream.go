@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +27,10 @@ type Stream struct {
 	q   *Queue
 	ctx context.Context
 	sem chan struct{}
+
+	// completed counts jobs that reached a terminal state; Depth is
+	// Submitted minus this.
+	completed atomic.Int64
 
 	mu     sync.Mutex
 	jobs   []*pendingJob
@@ -50,6 +55,20 @@ func (q *Queue) Stream(ctx context.Context) *Stream {
 // worker pool — execution is handed to a goroutine that waits for a pool
 // slot — and returns ErrClosed after Close instead of deadlocking.
 func (s *Stream) Submit(spec Spec) (int, error) {
+	return s.SubmitCtx(s.ctx, spec)
+}
+
+// SubmitCtx enqueues one job like Submit, but the job runs under ctx
+// instead of the stream's context — the hook a front-door service uses for
+// per-job cancellation and deadlines. Derive ctx from the stream's context
+// so cancelling the stream still cancels every job; a nil ctx falls back to
+// the stream's own. Cancelling ctx while the job waits for a pool slot (or
+// mid-run, at a stage boundary) records the job Cancelled exactly as
+// Queue.Run would.
+func (s *Stream) SubmitCtx(ctx context.Context, spec Spec) (int, error) {
+	if ctx == nil {
+		ctx = s.ctx
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -64,14 +83,15 @@ func (s *Stream) Submit(spec Spec) (int, error) {
 	submitted := time.Now()
 	go func() {
 		defer close(p.done)
+		defer s.completed.Add(1)
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
-		case <-s.ctx.Done():
+		case <-ctx.Done():
 			// Cancelled while queued for a pool slot; runJob observes the
 			// dead context immediately and records the cancellation.
 		}
-		p.res = s.q.runJob(s.ctx, slot, spec, submitted)
+		p.res = s.q.runJob(ctx, slot, spec, submitted)
 	}()
 	return slot, nil
 }
@@ -81,6 +101,16 @@ func (s *Stream) Submitted() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.jobs)
+}
+
+// Depth returns the queue depth: jobs submitted but not yet terminal. It
+// is the gauge a bounded-admission front door watches — with admission
+// capped upstream, Depth never exceeds that budget plus the pool width.
+func (s *Stream) Depth() int {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	return n - int(s.completed.Load())
 }
 
 // Wait blocks until the job in slot reaches a terminal state and returns

@@ -1,0 +1,122 @@
+package jobqueue_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/jobqueue"
+)
+
+// TestStreamSubmitCtxCancelsOneJob pins per-job cancellation: cancelling a
+// SubmitCtx context ends that job (Cancelled, ctx.Err()) while its
+// neighbours on the same stream finish normally.
+func TestStreamSubmitCtxCancelsOneJob(t *testing.T) {
+	release := make(chan struct{})
+	slow := fakeEngine{name: "slow", fn: func(ctx context.Context) (*engine.Report, error) {
+		select {
+		case <-release:
+			return okReport("slow"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}
+	q := jobqueue.New(newTestRegistry(t, slow), jobqueue.WithWorkers(2))
+	st := q.Stream(context.Background())
+
+	jobCtx, cancelJob := context.WithCancel(context.Background())
+	defer cancelJob()
+	doomed, err := st.SubmitCtx(jobCtx, jobqueue.Spec{Engine: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := st.Submit(jobqueue.Spec{Engine: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelJob()
+	res, err := st.Wait(doomed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != jobqueue.StateCancelled || !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("doomed job: state=%v err=%v, want cancelled/context.Canceled", res.State, res.Err)
+	}
+
+	close(release)
+	res, err = st.Wait(survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != jobqueue.StateDone {
+		t.Fatalf("survivor: state=%v err=%v, want done", res.State, res.Err)
+	}
+}
+
+// TestStreamSubmitCtxNilFallsBack pins that a nil per-job context inherits
+// the stream's context.
+func TestStreamSubmitCtxNilFallsBack(t *testing.T) {
+	ok := fakeEngine{name: "ok", fn: func(context.Context) (*engine.Report, error) {
+		return okReport("ok"), nil
+	}}
+	q := jobqueue.New(newTestRegistry(t, ok), jobqueue.WithWorkers(1))
+	st := q.Stream(context.Background())
+	slot, err := st.SubmitCtx(nil, jobqueue.Spec{Engine: "ok", Source: genome.NewSliceSource(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Wait(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != jobqueue.StateDone {
+		t.Fatalf("state=%v err=%v, want done", res.State, res.Err)
+	}
+}
+
+// TestStreamDepth pins the queue-depth gauge: it rises with submissions,
+// falls as jobs finish, and ends at zero after Drain.
+func TestStreamDepth(t *testing.T) {
+	release := make(chan struct{})
+	slow := fakeEngine{name: "slow", fn: func(ctx context.Context) (*engine.Report, error) {
+		select {
+		case <-release:
+			return okReport("slow"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}
+	q := jobqueue.New(newTestRegistry(t, slow), jobqueue.WithWorkers(2))
+	st := q.Stream(context.Background())
+	if d := st.Depth(); d != 0 {
+		t.Fatalf("fresh stream depth = %d, want 0", d)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Submit(jobqueue.Spec{Engine: "slow"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := st.Depth(); d != 3 {
+		t.Fatalf("depth with 3 in-flight jobs = %d, want 3", d)
+	}
+	close(release)
+	results := st.Drain()
+	for i, r := range results {
+		if r.State != jobqueue.StateDone {
+			t.Fatalf("slot %d: state=%v err=%v", i, r.State, r.Err)
+		}
+	}
+	// Drain waits on every job's done channel, and the depth accounting
+	// settles before done closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Depth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("depth stuck at %d after Drain", st.Depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -91,36 +91,54 @@ func (c *Counters) Latency(name string) LatencySummary {
 
 // Snapshot returns every counter value, keyed by name.
 func (c *Counters) Snapshot() map[string]int64 {
+	counts, _ := c.SnapshotAll()
+	return counts
+}
+
+// LatencySnapshot returns every latency series, keyed by name.
+func (c *Counters) LatencySnapshot() map[string]LatencySummary {
+	_, lats := c.SnapshotAll()
+	return lats
+}
+
+// SnapshotAll returns every counter and every latency series from a single
+// lock acquisition — one consistent view, so renderers (String, the
+// Prometheus exporter) never interleave two reads of a moving registry.
+func (c *Counters) SnapshotAll() (map[string]int64, map[string]LatencySummary) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.counts))
+	counts := make(map[string]int64, len(c.counts))
 	for k, v := range c.counts {
-		out[k] = v
+		counts[k] = v
 	}
-	return out
+	lats := make(map[string]LatencySummary, len(c.lats))
+	for k, v := range c.lats {
+		lats[k] = v
+	}
+	return counts, lats
 }
 
 // String renders every counter and latency series, sorted by name, one per
-// line — stable for a fixed set of values.
+// line — stable for a fixed set of values. It reads through SnapshotAll,
+// the same consistent path the Prometheus exporter uses.
 func (c *Counters) String() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	names := make([]string, 0, len(c.counts))
-	for k := range c.counts {
+	counts, lats := c.SnapshotAll()
+	names := make([]string, 0, len(counts))
+	for k := range counts {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	var sb strings.Builder
 	for _, k := range names {
-		fmt.Fprintf(&sb, "%-24s %d\n", k, c.counts[k])
+		fmt.Fprintf(&sb, "%-24s %d\n", k, counts[k])
 	}
-	lnames := make([]string, 0, len(c.lats))
-	for k := range c.lats {
+	lnames := make([]string, 0, len(lats))
+	for k := range lats {
 		lnames = append(lnames, k)
 	}
 	sort.Strings(lnames)
 	for _, k := range lnames {
-		fmt.Fprintf(&sb, "%-24s %s\n", k, c.lats[k])
+		fmt.Fprintf(&sb, "%-24s %s\n", k, lats[k])
 	}
 	return sb.String()
 }

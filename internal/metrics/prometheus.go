@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders one consistent snapshot of c in the Prometheus
+// text exposition format (version 0.0.4). Every counter becomes a
+// `<namespace>_<name>_total` counter sample; every latency series becomes a
+// `<namespace>_<name>_seconds` summary whose quantile 0 / 1 samples carry
+// the observed min / max alongside the usual _sum and _count. Metric names
+// are sanitised (every run of characters outside [a-zA-Z0-9_] collapses to
+// one underscore), and output order is sorted by source name, so the
+// rendering is stable for a fixed set of values. Counters and latency
+// series come from a single SnapshotAll read — the same path String uses —
+// never from two racing lock acquisitions.
+func WritePrometheus(w io.Writer, c *Counters, namespace string) error {
+	counts, lats := c.SnapshotAll()
+
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := PrometheusName(namespace, k) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counts[k]); err != nil {
+			return err
+		}
+	}
+
+	lnames := make([]string, 0, len(lats))
+	for k := range lats {
+		lnames = append(lnames, k)
+	}
+	sort.Strings(lnames)
+	for _, k := range lnames {
+		l := lats[k]
+		name := PrometheusName(namespace, k) + "_seconds"
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0\"} %s\n%s{quantile=\"1\"} %s\n%s_sum %s\n%s_count %d\n",
+			name,
+			name, formatPromValue(l.Min.Seconds()),
+			name, formatPromValue(l.Max.Seconds()),
+			name, formatPromValue(l.Total.Seconds()),
+			name, l.Count)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusName joins namespace and name into a valid Prometheus metric
+// name: characters outside [a-zA-Z0-9_] become underscores (so the dotted
+// counter names turn into `jobs_done`, `latency_run`, ...), runs collapse,
+// and a leading digit gains an underscore prefix.
+func PrometheusName(namespace, name string) string {
+	full := name
+	if namespace != "" {
+		full = namespace + "_" + name
+	}
+	var sb strings.Builder
+	lastUnderscore := false
+	for _, r := range full {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		if r == '_' && lastUnderscore {
+			continue
+		}
+		lastUnderscore = r == '_'
+		sb.WriteRune(r)
+	}
+	out := sb.String()
+	if out == "" || (out[0] >= '0' && out[0] <= '9') {
+		out = "_" + out
+	}
+	return out
+}
+
+// formatPromValue renders a float sample the way Prometheus expects:
+// shortest round-trip representation, no exponent surprises for the common
+// small-duration values.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSampleRE matches one exposition sample line: a metric name, an
+// optional label set, and a float value (timestamp suffixes are not
+// emitted by this package and are rejected).
+var promSampleRE = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// ParsePrometheus reads a text exposition document and returns its samples
+// keyed by `name` or `name{labels}` exactly as written. It is the strict
+// checker the service smoke test and the load-test driver use: a malformed
+// sample line, an unknown TYPE, or a duplicate sample key is an error.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := checkPromComment(text); err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", line, err)
+			}
+			continue
+		}
+		m := promSampleRE.FindStringSubmatch(text)
+		if m == nil {
+			return nil, fmt.Errorf("metrics: line %d: malformed sample %q", line, text)
+		}
+		key := m[1] + m[2]
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("metrics: line %d: duplicate sample %q", line, key)
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: bad value in %q: %w", line, text, err)
+		}
+		samples[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: reading exposition: %w", err)
+	}
+	return samples, nil
+}
+
+// promTypes are the metric types this package emits (gauge covers the
+// service-level pending/inflight samples layered on top of the counters).
+var promTypes = map[string]bool{"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true}
+
+// checkPromComment validates a # HELP / # TYPE line (other comments pass).
+func checkPromComment(text string) error {
+	fields := strings.Fields(text)
+	if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+		return nil // free-form comment
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE comment %q", text)
+		}
+		if !promTypes[fields[3]] {
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}

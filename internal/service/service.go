@@ -1,0 +1,445 @@
+// Package service is the repository's front door: a long-lived HTTP daemon
+// serving multi-tenant assembly jobs over jobqueue.Stream. It adds the
+// three things the bare queue does not have — bounded admission with
+// backpressure (a fixed pending-job budget per tenant and globally,
+// rejected with 429 + Retry-After instead of queueing unboundedly),
+// round-robin fair dispatch across tenants, and a graceful drain state
+// machine (stop admitting, finish or cancel in-flight jobs within a
+// deadline, then stop) — plus a Prometheus /metrics endpoint exporting the
+// shared metrics.Counters. See DESIGN.md §16.
+//
+// Determinism: the service inherits the queue's contract. Job payloads are
+// parsed to the same read sets the CLI loads, every job runs on a fresh
+// engine platform, and contigs stream back byte-identical to a direct
+// jobqueue.Run of the same specs — whatever the worker count, tenant mix,
+// or submission timing. Only the wall-clock latency series differ.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pimassembler/internal/engine"
+	"pimassembler/internal/jobqueue"
+	"pimassembler/internal/metrics"
+	"pimassembler/internal/parallel"
+)
+
+// Admission defaults; Config overrides them per server.
+const (
+	// DefaultMaxPending is the global admitted-but-unfinished job budget.
+	DefaultMaxPending = 64
+	// DefaultMaxPendingPerTenant is the per-tenant share of that budget.
+	DefaultMaxPendingPerTenant = 16
+	// DefaultTenant is the tenant key of requests without an X-API-Key.
+	DefaultTenant = "anonymous"
+)
+
+// Config parameterises a Server. The zero value is serviceable: default
+// registry, GOMAXPROCS workers, default budgets, fresh counters.
+type Config struct {
+	// Registry resolves engine names (nil = engine.Default()).
+	Registry *engine.Registry
+	// Workers bounds concurrently running jobs (0 = parallel.Workers()).
+	Workers int
+	// MaxPending is the global admission budget: jobs admitted but not yet
+	// terminal. At the budget, submissions are rejected with a QuotaError
+	// (HTTP 429), never queued. 0 = DefaultMaxPending.
+	MaxPending int
+	// MaxPendingPerTenant is the per-tenant admission budget.
+	// 0 = DefaultMaxPendingPerTenant.
+	MaxPendingPerTenant int
+	// DefaultTimeout bounds each attempt of jobs that name no timeout.
+	DefaultTimeout time.Duration
+	// Retry is the attempt budget applied to every job (a request's
+	// max_attempts overrides MaxAttempts).
+	Retry jobqueue.RetryPolicy
+	// Counters receives the service.* and jobs.* instrumentation
+	// (nil = a fresh registry, readable via Counters()).
+	Counters *metrics.Counters
+}
+
+// ErrDraining rejects submissions while the server drains or after it
+// stopped; HTTP maps it to 503 + Retry-After.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// QuotaError reports an admission budget at capacity; HTTP maps it to
+// 429 + Retry-After. Scope names the exhausted budget.
+type QuotaError struct {
+	Scope   string // "global" or the tenant key
+	Pending int
+	Limit   int
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	if e.Scope == "global" {
+		return fmt.Sprintf("service: global pending budget exhausted (%d/%d)", e.Pending, e.Limit)
+	}
+	return fmt.Sprintf("service: tenant %q pending budget exhausted (%d/%d)", e.Scope, e.Pending, e.Limit)
+}
+
+// job is one admitted submission's record, protected by Server.mu except
+// for the immutable identity fields.
+type job struct {
+	id        string
+	tenant    string
+	name      string
+	engine    string
+	spec      jobqueue.Spec
+	submitted time.Time
+	ctx       context.Context
+	cancel    context.CancelFunc
+	state     jobqueue.State
+	res       *jobqueue.Result
+	done      chan struct{}
+}
+
+// tenant aggregates one API key's admission state: its FIFO of
+// not-yet-dispatched jobs and its pending (admitted, non-terminal) count.
+type tenant struct {
+	key     string
+	queue   []*job
+	pending int
+}
+
+// Server is the daemon: admission control and fair dispatch in front of a
+// jobqueue.Stream, plus the HTTP face in http.go. Construct with New;
+// every Server must eventually be shut down with Drain or Close.
+type Server struct {
+	registry     *engine.Registry
+	workers      int
+	maxPending   int
+	maxPerTenant int
+	defTimeout   time.Duration
+	retry        jobqueue.RetryPolicy
+	counters     *metrics.Counters
+	stream       *jobqueue.Stream
+	ctx          context.Context
+	cancel       context.CancelFunc
+
+	mu             sync.Mutex
+	cond           *sync.Cond
+	jobs           map[string]*job
+	tenants        map[string]*tenant
+	active         []*tenant // round-robin ring of tenants with queued jobs
+	pending        int       // admitted, non-terminal
+	queued         int       // admitted, not yet dispatched
+	inflight       int       // dispatched, not yet terminal
+	highWater      int       // max pending ever observed
+	nextID         int
+	draining       bool
+	stopped        bool
+	dispatcherDone chan struct{}
+}
+
+// New builds a Server and starts its dispatcher. The server accepts jobs
+// immediately; call Drain (or Close) to shut it down.
+func New(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = engine.Default()
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = parallel.Workers()
+	}
+	maxPending := cfg.MaxPending
+	if maxPending < 1 {
+		maxPending = DefaultMaxPending
+	}
+	maxPerTenant := cfg.MaxPendingPerTenant
+	if maxPerTenant < 1 {
+		maxPerTenant = DefaultMaxPendingPerTenant
+	}
+	if maxPerTenant > maxPending {
+		maxPerTenant = maxPending
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = metrics.NewCounters()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := jobqueue.New(reg, jobqueue.WithWorkers(workers), jobqueue.WithCounters(counters))
+	s := &Server{
+		registry:       reg,
+		workers:        workers,
+		maxPending:     maxPending,
+		maxPerTenant:   maxPerTenant,
+		defTimeout:     cfg.DefaultTimeout,
+		retry:          cfg.Retry,
+		counters:       counters,
+		stream:         q.Stream(ctx),
+		ctx:            ctx,
+		cancel:         cancel,
+		jobs:           make(map[string]*job),
+		tenants:        make(map[string]*tenant),
+		dispatcherDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.dispatch()
+	return s
+}
+
+// Counters exposes the server's instrumentation registry.
+func (s *Server) Counters() *metrics.Counters { return s.counters }
+
+// Workers returns the concurrent-job bound.
+func (s *Server) Workers() int { return s.workers }
+
+// MaxPending returns the global admission budget.
+func (s *Server) MaxPending() int { return s.maxPending }
+
+// MaxPendingPerTenant returns the per-tenant admission budget.
+func (s *Server) MaxPendingPerTenant() int { return s.maxPerTenant }
+
+// Pending returns the admitted-but-unfinished job count — by construction
+// never above MaxPending.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// HighWater returns the maximum Pending ever observed — the saturation
+// proof the load-test driver asserts against the budget.
+func (s *Server) HighWater() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.highWater
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.stopped
+}
+
+// submit admits one job or rejects it with ErrDraining / *QuotaError. The
+// spec must already be validated (engine name, parsed reads).
+func (s *Server) submit(tenantKey, name string, spec jobqueue.Spec) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.stopped {
+		s.counters.Add("service.rejected.draining", 1)
+		return nil, ErrDraining
+	}
+	if s.pending >= s.maxPending {
+		s.counters.Add("service.rejected.quota", 1)
+		return nil, &QuotaError{Scope: "global", Pending: s.pending, Limit: s.maxPending}
+	}
+	t := s.tenants[tenantKey]
+	if t == nil {
+		t = &tenant{key: tenantKey}
+		s.tenants[tenantKey] = t
+	}
+	if t.pending >= s.maxPerTenant {
+		s.counters.Add("service.rejected.quota", 1)
+		return nil, &QuotaError{Scope: tenantKey, Pending: t.pending, Limit: s.maxPerTenant}
+	}
+
+	s.nextID++
+	ctx, cancel := context.WithCancel(s.ctx)
+	j := &job{
+		id:        fmt.Sprintf("j-%d", s.nextID),
+		tenant:    tenantKey,
+		name:      name,
+		engine:    spec.Engine,
+		spec:      spec,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     jobqueue.StateQueued,
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	if len(t.queue) == 0 {
+		s.active = append(s.active, t)
+	}
+	t.queue = append(t.queue, j)
+	t.pending++
+	s.pending++
+	s.queued++
+	if s.pending > s.highWater {
+		s.highWater = s.pending
+	}
+	s.counters.Add("service.submitted", 1)
+	s.cond.Broadcast()
+	return j, nil
+}
+
+// lookup resolves a job visible to tenantKey (jobs are tenant-scoped: a
+// foreign or unknown ID is indistinguishably absent).
+func (s *Server) lookup(tenantKey, id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil || j.tenant != tenantKey {
+		return nil
+	}
+	return j
+}
+
+// dispatch is the fairness loop: whenever a worker slot is free and a
+// tenant has queued jobs, it pops the next tenant off the round-robin ring,
+// dispatches that tenant's oldest job onto the stream, and re-queues the
+// tenant at the back of the ring — so a tenant with a deep backlog cannot
+// starve one with a single job. It exits when the server stops.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.stopped && (s.queued == 0 || s.inflight >= s.workers) {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			return
+		}
+		t := s.active[0]
+		s.active = s.active[1:]
+		j := t.queue[0]
+		t.queue = t.queue[1:]
+		if len(t.queue) > 0 {
+			s.active = append(s.active, t)
+		}
+		s.queued--
+		s.inflight++
+		j.state = jobqueue.StateRunning
+		spec, jctx := j.spec, j.ctx
+
+		s.mu.Unlock()
+		slot, err := s.stream.SubmitCtx(jctx, spec)
+		s.mu.Lock()
+		if err != nil {
+			// The stream refuses jobs only once closed, i.e. during final
+			// shutdown; record the job failed rather than losing it.
+			s.finishLocked(j, jobqueue.Result{Spec: spec, State: jobqueue.StateFailed, Err: err})
+			continue
+		}
+		go s.await(j, slot)
+	}
+}
+
+// await parks on one dispatched job's stream slot and records its result.
+func (s *Server) await(j *job, slot int) {
+	res, err := s.stream.Wait(slot)
+	if err != nil {
+		res = jobqueue.Result{Spec: j.spec, State: jobqueue.StateFailed, Err: err}
+	}
+	s.mu.Lock()
+	s.finishLocked(j, res)
+	s.mu.Unlock()
+}
+
+// finishLocked records a dispatched job's terminal result. Callers hold mu.
+func (s *Server) finishLocked(j *job, res jobqueue.Result) {
+	j.res = &res
+	j.state = res.State
+	j.cancel()
+	close(j.done)
+	s.inflight--
+	s.pending--
+	s.tenants[j.tenant].pending--
+	s.cond.Broadcast()
+}
+
+// cancelJob cancels one job's context. A queued job is still dispatched —
+// into its dead context — so it flows through the queue and records
+// Cancelled exactly like a mid-run cancellation.
+func (s *Server) cancelJob(j *job) { j.cancel() }
+
+// BeginDrain stops admission (idempotent): new submissions get ErrDraining,
+// /healthz turns 503, in-flight and queued jobs keep running.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.counters.Add("service.drains", 1)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// DrainStats tallies the terminal states of every job the server ever
+// admitted, reported by Drain.
+type DrainStats struct {
+	Done, Failed, Cancelled int
+}
+
+// String implements fmt.Stringer.
+func (d DrainStats) String() string {
+	return fmt.Sprintf("%d done, %d failed, %d cancelled", d.Done, d.Failed, d.Cancelled)
+}
+
+// Drain is the graceful-shutdown state machine: stop admitting, let
+// in-flight and queued jobs finish until ctx expires, then cancel whatever
+// remains and wait for it to record Cancelled. It returns once every
+// admitted job is terminal and the dispatcher has exited; the server is
+// then stopped for good. Safe to call once; Close is the
+// cancel-immediately variant.
+func (s *Server) Drain(ctx context.Context) DrainStats {
+	s.BeginDrain()
+	// cond.Wait cannot select on ctx, so expiry pokes the waiters.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	for s.pending > 0 && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	expired := s.pending > 0
+	s.mu.Unlock()
+
+	if expired {
+		// Deadline passed: cancel every remaining job's context (they are
+		// all children of s.ctx). Running attempts observe it at the next
+		// stage boundary; still-queued jobs are dispatched into their dead
+		// context and record Cancelled immediately.
+		s.cancel()
+		s.mu.Lock()
+		for s.pending > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.stream.Close()
+	<-s.dispatcherDone
+	s.cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st DrainStats
+	for _, j := range s.jobs {
+		switch j.state {
+		case jobqueue.StateDone:
+			st.Done++
+		case jobqueue.StateFailed:
+			st.Failed++
+		case jobqueue.StateCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Close shuts down immediately: every non-terminal job is cancelled and the
+// server stops. It is Drain with an already-expired deadline.
+func (s *Server) Close() DrainStats {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Drain(ctx)
+}

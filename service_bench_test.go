@@ -1,0 +1,97 @@
+package pimassembler
+
+import (
+	"context"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/service"
+	"pimassembler/internal/stats"
+)
+
+// BenchmarkService measures the assembled daemon end to end over HTTP
+// (DESIGN.md §16): closed-loop clients submit, poll, and fetch contigs
+// against an in-process server, with admission rejections retried after
+// backoff. jobs/s is completed-job throughput; p50/p99-ms are turnaround
+// tails from submission to terminal state. BENCH_PR9.json records this as
+// the service's throughput artefact.
+func BenchmarkService(b *testing.B) {
+	rng := stats.NewRNG(16)
+	ref := genome.GenerateGenome(1500, rng)
+	seqs := genome.NewReadSampler(ref, 101, 0, rng).Sample(80)
+	records := make([]genome.Record, len(seqs))
+	for i, s := range seqs {
+		records[i] = genome.Record{Name: "r", Seq: s}
+	}
+	var sb strings.Builder
+	if err := genome.WriteFASTA(&sb, records); err != nil {
+		b.Fatal(err)
+	}
+	reads := sb.String()
+
+	srv := service.New(service.Config{Workers: 0, MaxPending: 64, MaxPendingPerTenant: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	var turnaround []time.Duration
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		c := &service.Client{BaseURL: ts.URL, APIKey: "bench"}
+		for pb.Next() {
+			t0 := time.Now()
+			var st service.JobStatus
+			for {
+				var err error
+				st, err = c.Submit(ctx, service.SubmitRequest{Engine: "software", Reads: reads, K: 16})
+				if err == nil {
+					break
+				}
+				if apiErr, ok := err.(*service.APIError); ok && apiErr.Overloaded() {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				b.Fatal(err)
+			}
+			final, err := c.Wait(ctx, st.ID, time.Millisecond)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if final.State != "done" {
+				b.Fatalf("job %s: state=%q err=%q", st.ID, final.State, final.Error)
+			}
+			if _, err := c.Contigs(ctx, st.ID); err != nil {
+				b.Fatal(err)
+			}
+			mu.Lock()
+			turnaround = append(turnaround, time.Since(t0))
+			mu.Unlock()
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	sort.Slice(turnaround, func(i, j int) bool { return turnaround[i] < turnaround[j] })
+	quantile := func(p int) float64 {
+		if len(turnaround) == 0 {
+			return 0
+		}
+		idx := (len(turnaround) - 1) * p / 100
+		return float64(turnaround[idx].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/s")
+	b.ReportMetric(quantile(50), "p50-ms")
+	b.ReportMetric(quantile(99), "p99-ms")
+}
