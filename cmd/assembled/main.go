@@ -9,7 +9,8 @@
 //
 //	assembled [-addr 127.0.0.1:8080] [-workers N] [-max-pending N]
 //	          [-max-pending-per-tenant N] [-timeout DUR] [-retries N]
-//	          [-backoff DUR] [-drain-timeout DUR]
+//	          [-backoff DUR] [-drain-timeout DUR] [-result-ttl DUR]
+//	          [-max-retained-per-tenant N]
 //
 // Exit codes: 0 after a clean drain, 1 on a serve failure, 2 on usage
 // errors.
@@ -60,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		retries   = fs.Int("retries", 0, "retry budget for transient job failures (total attempts = retries+1)")
 		backoff   = fs.Duration("backoff", 50*time.Millisecond, "delay before the first retry (doubles per attempt)")
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown before cancellation")
+		resultTTL = fs.Duration("result-ttl", service.DefaultResultTTL, "how long finished job results stay pollable before eviction (negative = no TTL)")
+		retained  = fs.Int("max-retained-per-tenant", service.DefaultMaxRetainedPerTenant, "finished results kept per tenant; beyond it the oldest is evicted")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: assembled [flags]")
@@ -80,10 +83,12 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	}
 
 	srv := service.New(service.Config{
-		Workers:             *workers,
-		MaxPending:          *maxPend,
-		MaxPendingPerTenant: *maxTenant,
-		DefaultTimeout:      *timeout,
+		Workers:              *workers,
+		MaxPending:           *maxPend,
+		MaxPendingPerTenant:  *maxTenant,
+		DefaultTimeout:       *timeout,
+		ResultTTL:            *resultTTL,
+		MaxRetainedPerTenant: *retained,
 		Retry: jobqueue.RetryPolicy{
 			MaxAttempts: *retries + 1,
 			Backoff:     *backoff,

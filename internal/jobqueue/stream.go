@@ -108,9 +108,14 @@ func (s *Stream) Submitted() int {
 // capped upstream, Depth never exceeds that budget plus the pool width.
 func (s *Stream) Depth() int {
 	s.mu.Lock()
-	n := len(s.jobs)
-	s.mu.Unlock()
-	return n - int(s.completed.Load())
+	defer s.mu.Unlock()
+	// completed is read while the mutex pins len(s.jobs): a job completes
+	// only after its submission appended it, so the difference cannot go
+	// negative; the clamp is belt and braces.
+	if d := len(s.jobs) - int(s.completed.Load()); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // Wait blocks until the job in slot reaches a terminal state and returns

@@ -17,9 +17,15 @@ import (
 	"pimassembler/internal/metrics"
 )
 
-// MaxBodyBytes bounds one submission's payload; larger workloads belong on
-// the out-of-core CLI path (cmd/assemble -spill-dir).
+// MaxBodyBytes is the default bound on one submission's payload
+// (Config.MaxBodyBytes overrides); larger workloads belong on the
+// out-of-core CLI path (cmd/assemble -spill-dir).
 const MaxBodyBytes = 64 << 20
+
+// MaxTenantLabels bounds the cardinality of the per-tenant pending gauge:
+// the busiest tenants are labelled individually, the remainder aggregate
+// under tenant="other", so unique API keys cannot grow /metrics unboundedly.
+const MaxTenantLabels = 16
 
 // PrometheusNamespace prefixes every exported metric name.
 const PrometheusNamespace = "pim"
@@ -124,8 +130,14 @@ func tenantKey(r *http.Request) string {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantKey(r)
 	var req SubmitRequest
-	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.bodyLimit)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request body: %v", err))
 		return
 	}
@@ -187,6 +199,12 @@ func (s *Server) buildSpec(req SubmitRequest) (jobqueue.Spec, error) {
 	}
 	if k < 2 || k > 32 {
 		return jobqueue.Spec{}, fmt.Errorf("k=%d outside the supported range [2, 32]", k)
+	}
+	// MinOverlap follows k as k-4; scaffolding needs it positive, so reject
+	// the combination here as a 400 instead of admitting a job that can
+	// only fail pipeline validation at run time.
+	if req.Scaffold && k-4 < 1 {
+		return jobqueue.Spec{}, fmt.Errorf("scaffold requires k > 4 (k=%d yields min overlap %d)", k, k-4)
 	}
 	timeout := s.defTimeout
 	if req.TimeoutMS > 0 {
@@ -309,13 +327,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if len(tenantPending) > 0 {
 		full := metrics.PrometheusName(PrometheusNamespace, "service.tenant_pending")
 		fmt.Fprintf(w, "# TYPE %s gauge\n", full)
-		keys := make([]string, 0, len(tenantPending))
-		for k := range tenantPending {
+		// Client-supplied API keys are untrusted: sanitize each to the safe
+		// label charset (colliding keys sum), then cap cardinality at the
+		// busiest MaxTenantLabels with the rest aggregated as "other".
+		agg := make(map[string]int, len(tenantPending))
+		for k, v := range tenantPending {
+			agg[promLabelValue(k)] += v
+		}
+		if len(agg) > MaxTenantLabels {
+			ranked := make([]string, 0, len(agg))
+			for k := range agg {
+				ranked = append(ranked, k)
+			}
+			sort.Slice(ranked, func(i, j int) bool {
+				if agg[ranked[i]] != agg[ranked[j]] {
+					return agg[ranked[i]] > agg[ranked[j]]
+				}
+				return ranked[i] < ranked[j]
+			})
+			other := 0
+			for _, k := range ranked[MaxTenantLabels-1:] {
+				other += agg[k]
+				delete(agg, k)
+			}
+			agg["other"] += other
+		}
+		keys := make([]string, 0, len(agg))
+		for k := range agg {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Fprintf(w, "%s{tenant=%q} %d\n", full, escapeLabel(k), tenantPending[k])
+			fmt.Fprintf(w, "%s{tenant=\"%s\"} %d\n", full, k, agg[k])
 		}
 	}
 	if err := metrics.WritePrometheus(w, s.counters, PrometheusNamespace); err != nil {
@@ -350,10 +393,27 @@ func (s *Server) status(j *job) JobStatus {
 	return st
 }
 
-// escapeLabel escapes a Prometheus label value (the %q quoting already
-// handles quotes and backslashes; newlines become spaces for line safety).
-func escapeLabel(v string) string {
-	return strings.ReplaceAll(v, "\n", " ")
+// promLabelValue maps an untrusted tenant key onto a label value that is
+// safe to splice into the exposition unescaped: runes outside
+// [a-zA-Z0-9_.:@/-] become '_' (so no quotes, backslashes, newlines, or
+// escape sequences the strict ParsePrometheus regex rejects) and the value
+// is truncated to 64 runes.
+func promLabelValue(v string) string {
+	const maxRunes = 64
+	var sb strings.Builder
+	n := 0
+	for _, r := range v {
+		ok := r == '_' || r == '-' || r == '.' || r == ':' || r == '@' || r == '/' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		sb.WriteRune(r)
+		if n++; n >= maxRunes {
+			break
+		}
+	}
+	return sb.String()
 }
 
 func writeJSON(w http.ResponseWriter, status int, doc any) {

@@ -36,6 +36,12 @@ const (
 	DefaultMaxPendingPerTenant = 16
 	// DefaultTenant is the tenant key of requests without an X-API-Key.
 	DefaultTenant = "anonymous"
+	// DefaultResultTTL is how long a terminal job's record (including its
+	// contigs) stays pollable before the sweeper evicts it.
+	DefaultResultTTL = 15 * time.Minute
+	// DefaultMaxRetainedPerTenant caps the terminal records kept per
+	// tenant; beyond it the oldest result is evicted immediately.
+	DefaultMaxRetainedPerTenant = 64
 )
 
 // Config parameterises a Server. The zero value is serviceable: default
@@ -54,6 +60,16 @@ type Config struct {
 	MaxPendingPerTenant int
 	// DefaultTimeout bounds each attempt of jobs that name no timeout.
 	DefaultTimeout time.Duration
+	// ResultTTL bounds how long terminal jobs stay pollable: a background
+	// sweeper evicts older records so memory tracks the admission budget,
+	// not total jobs ever served. 0 = DefaultResultTTL; negative disables
+	// TTL eviction (the per-tenant cap still applies).
+	ResultTTL time.Duration
+	// MaxRetainedPerTenant caps terminal records kept per tenant, oldest
+	// evicted first. 0 = DefaultMaxRetainedPerTenant.
+	MaxRetainedPerTenant int
+	// MaxBodyBytes bounds one submission's payload (0 = MaxBodyBytes).
+	MaxBodyBytes int64
 	// Retry is the attempt budget applied to every job (a request's
 	// max_attempts overrides MaxAttempts).
 	Retry jobqueue.RetryPolicy
@@ -94,16 +110,20 @@ type job struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 	state     jobqueue.State
+	finished  time.Time
 	res       *jobqueue.Result
 	done      chan struct{}
 }
 
 // tenant aggregates one API key's admission state: its FIFO of
-// not-yet-dispatched jobs and its pending (admitted, non-terminal) count.
+// not-yet-dispatched jobs, its pending (admitted, non-terminal) count, and
+// its retained terminal records (finish order, oldest first) awaiting
+// eviction by the retention policy.
 type tenant struct {
-	key     string
-	queue   []*job
-	pending int
+	key      string
+	queue    []*job
+	pending  int
+	retained []*job
 }
 
 // Server is the daemon: admission control and fair dispatch in front of a
@@ -115,6 +135,9 @@ type Server struct {
 	maxPending   int
 	maxPerTenant int
 	defTimeout   time.Duration
+	resultTTL    time.Duration
+	maxRetained  int
+	bodyLimit    int64
 	retry        jobqueue.RetryPolicy
 	counters     *metrics.Counters
 	stream       *jobqueue.Stream
@@ -125,15 +148,17 @@ type Server struct {
 	cond           *sync.Cond
 	jobs           map[string]*job
 	tenants        map[string]*tenant
-	active         []*tenant // round-robin ring of tenants with queued jobs
-	pending        int       // admitted, non-terminal
-	queued         int       // admitted, not yet dispatched
-	inflight       int       // dispatched, not yet terminal
-	highWater      int       // max pending ever observed
+	active         []*tenant  // round-robin ring of tenants with queued jobs
+	pending        int        // admitted, non-terminal
+	queued         int        // admitted, not yet dispatched
+	inflight       int        // dispatched, not yet terminal
+	highWater      int        // max pending ever observed
+	stats          DrainStats // terminal tallies, survive record eviction
 	nextID         int
 	draining       bool
 	stopped        bool
 	dispatcherDone chan struct{}
+	sweeperDone    chan struct{}
 }
 
 // New builds a Server and starts its dispatcher. The server accepts jobs
@@ -158,6 +183,18 @@ func New(cfg Config) *Server {
 	if maxPerTenant > maxPending {
 		maxPerTenant = maxPending
 	}
+	resultTTL := cfg.ResultTTL
+	if resultTTL == 0 {
+		resultTTL = DefaultResultTTL
+	}
+	maxRetained := cfg.MaxRetainedPerTenant
+	if maxRetained < 1 {
+		maxRetained = DefaultMaxRetainedPerTenant
+	}
+	bodyLimit := cfg.MaxBodyBytes
+	if bodyLimit <= 0 {
+		bodyLimit = MaxBodyBytes
+	}
 	counters := cfg.Counters
 	if counters == nil {
 		counters = metrics.NewCounters()
@@ -170,6 +207,9 @@ func New(cfg Config) *Server {
 		maxPending:     maxPending,
 		maxPerTenant:   maxPerTenant,
 		defTimeout:     cfg.DefaultTimeout,
+		resultTTL:      resultTTL,
+		maxRetained:    maxRetained,
+		bodyLimit:      bodyLimit,
 		retry:          cfg.Retry,
 		counters:       counters,
 		stream:         q.Stream(ctx),
@@ -178,10 +218,30 @@ func New(cfg Config) *Server {
 		jobs:           make(map[string]*job),
 		tenants:        make(map[string]*tenant),
 		dispatcherDone: make(chan struct{}),
+		sweeperDone:    make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.dispatch()
+	if resultTTL > 0 {
+		go s.sweep(sweepInterval(resultTTL))
+	} else {
+		close(s.sweeperDone)
+	}
 	return s
+}
+
+// sweepInterval picks the sweeper cadence for a TTL: a quarter of it,
+// clamped so short test TTLs still sweep promptly and long ones do not
+// wake more than once a minute.
+func sweepInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
 }
 
 // Counters exposes the server's instrumentation registry.
@@ -336,16 +396,83 @@ func (s *Server) await(j *job, slot int) {
 	s.mu.Unlock()
 }
 
-// finishLocked records a dispatched job's terminal result. Callers hold mu.
+// finishLocked records a dispatched job's terminal result and applies the
+// retention policy: the record joins its tenant's retained FIFO (so status
+// and contigs stay pollable), the per-tenant cap evicts the oldest result
+// beyond it, and the terminal tally survives any later eviction. Callers
+// hold mu.
 func (s *Server) finishLocked(j *job, res jobqueue.Result) {
 	j.res = &res
 	j.state = res.State
+	j.finished = time.Now()
 	j.cancel()
 	close(j.done)
 	s.inflight--
 	s.pending--
-	s.tenants[j.tenant].pending--
+	switch res.State {
+	case jobqueue.StateDone:
+		s.stats.Done++
+	case jobqueue.StateFailed:
+		s.stats.Failed++
+	case jobqueue.StateCancelled:
+		s.stats.Cancelled++
+	}
+	t := s.tenants[j.tenant]
+	t.pending--
+	t.retained = append(t.retained, j)
+	for len(t.retained) > s.maxRetained {
+		s.evictOldestLocked(t)
+	}
 	s.cond.Broadcast()
+}
+
+// evictOldestLocked drops a tenant's oldest retained terminal record,
+// releasing the job (and its contig report) for collection. Callers hold mu.
+func (s *Server) evictOldestLocked(t *tenant) {
+	j := t.retained[0]
+	t.retained[0] = nil
+	t.retained = t.retained[1:]
+	delete(s.jobs, j.id)
+	s.counters.Add("service.evicted", 1)
+}
+
+// dropTenantIfIdleLocked removes a tenant record with no admitted jobs and
+// no retained results, so the tenant map (and the /metrics label set)
+// tracks live tenants rather than every key ever seen. Callers hold mu.
+func (s *Server) dropTenantIfIdleLocked(t *tenant) {
+	if t.pending == 0 && len(t.queue) == 0 && len(t.retained) == 0 {
+		delete(s.tenants, t.key)
+	}
+}
+
+// sweep is the retention loop: every interval it evicts terminal records
+// older than the TTL and drops idle tenants. It exits when the server's
+// context is cancelled at the end of Drain.
+func (s *Server) sweep(interval time.Duration) {
+	defer close(s.sweeperDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-tick.C:
+			s.evictExpired(time.Now())
+		}
+	}
+}
+
+// evictExpired applies the TTL half of the retention policy.
+func (s *Server) evictExpired(now time.Time) {
+	cutoff := now.Add(-s.resultTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tenants {
+		for len(t.retained) > 0 && t.retained[0].finished.Before(cutoff) {
+			s.evictOldestLocked(t)
+		}
+		s.dropTenantIfIdleLocked(t)
+	}
 }
 
 // cancelJob cancels one job's context. A queued job is still dispatched —
@@ -419,21 +546,14 @@ func (s *Server) Drain(ctx context.Context) DrainStats {
 	s.stream.Close()
 	<-s.dispatcherDone
 	s.cancel()
+	<-s.sweeperDone
 
+	// The running tally, not a scan of s.jobs: retention may already have
+	// evicted long-finished records, but every admitted job was counted
+	// exactly once when it turned terminal.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var st DrainStats
-	for _, j := range s.jobs {
-		switch j.state {
-		case jobqueue.StateDone:
-			st.Done++
-		case jobqueue.StateFailed:
-			st.Failed++
-		case jobqueue.StateCancelled:
-			st.Cancelled++
-		}
-	}
-	return st
+	return s.stats
 }
 
 // Close shuts down immediately: every non-terminal job is cancelled and the

@@ -140,6 +140,8 @@ func TestHandlerErrors(t *testing.T) {
 			`{"engine":"software","format":"sam","reads":` + mustJSON(reads) + `}`, http.StatusBadRequest},
 		{"k out of range", "POST", "/v1/jobs",
 			`{"engine":"software","k":64,"reads":` + mustJSON(reads) + `}`, http.StatusBadRequest},
+		{"scaffold with k too small for an overlap", "POST", "/v1/jobs",
+			`{"engine":"software","k":4,"scaffold":true,"reads":` + mustJSON(reads) + `}`, http.StatusBadRequest},
 		{"unknown job ID", "GET", "/v1/jobs/j-999", "", http.StatusNotFound},
 		{"unknown job contigs", "GET", "/v1/jobs/j-999/contigs", "", http.StatusNotFound},
 		{"unknown job cancel", "DELETE", "/v1/jobs/j-999", "", http.StatusNotFound},
@@ -613,6 +615,172 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("high water %v exceeds budget %v", hw, samples["pim_service_max_pending"])
 	}
 	_ = srv
+}
+
+// TestBodyTooLarge pins that an over-limit payload is a 413 naming the
+// limit, not an opaque 400 decode error.
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, MaxBodyBytes: 1024})
+	body := `{"engine":"software","reads":"` + strings.Repeat("A", 2048) + `"}`
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var doc errorDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || !strings.Contains(doc.Error, "1024") {
+		t.Fatalf("error should name the limit, got %q (err=%v)", doc.Error, err)
+	}
+}
+
+// TestMetricsHostileTenantKey pins that an API key full of characters the
+// exposition format cannot carry (quotes, backslashes, tabs, non-ASCII)
+// still yields a /metrics document the strict parser accepts, with the key
+// sanitized into the label value.
+func TestMetricsHostileTenantKey(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	hostile := "bad\"key\\\twith\x80stuff"
+	c := &Client{BaseURL: ts.URL, APIKey: hostile}
+	ctx := context.Background()
+	st, err := c.Submit(ctx, SubmitRequest{Engine: "software", Reads: fastaWorkload(t, 60, 600, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("hostile tenant key broke /metrics: %v", err)
+	}
+	want := `pim_service_tenant_pending{tenant="` + promLabelValue(hostile) + `"}`
+	if _, ok := samples[want]; !ok {
+		t.Fatalf("sanitized tenant gauge %s missing", want)
+	}
+	if strings.ContainsAny(promLabelValue(hostile), `"\`+"\t\n") {
+		t.Fatalf("sanitized label %q still carries unsafe characters", promLabelValue(hostile))
+	}
+}
+
+// TestTenantLabelCardinality pins the /metrics cardinality cap: more
+// tenants than MaxTenantLabels collapse into at most that many labels plus
+// an aggregated "other" row, and the document still parses.
+func TestTenantLabelCardinality(t *testing.T) {
+	block, release := blockingEngine("block")
+	defer release()
+	srv, ts := startServer(t, Config{
+		Registry:            testRegistry(t, block),
+		Workers:             1,
+		MaxPending:          2 * MaxTenantLabels,
+		MaxPendingPerTenant: 1,
+	})
+	ctx := context.Background()
+	for i := 0; i < MaxTenantLabels+4; i++ {
+		c := &Client{BaseURL: ts.URL, APIKey: fmt.Sprintf("tenant-%02d", i)}
+		if _, err := c.Submit(ctx, SubmitRequest{Engine: "block", Reads: ">r\nACGTACGT\n"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples, err := (&Client{BaseURL: ts.URL}).Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, total := 0, 0.0
+	for k, v := range samples {
+		if strings.HasPrefix(k, "pim_service_tenant_pending{") {
+			labels++
+			total += v
+		}
+	}
+	if labels > MaxTenantLabels {
+		t.Fatalf("tenant label cardinality %d exceeds cap %d", labels, MaxTenantLabels)
+	}
+	if _, ok := samples[`pim_service_tenant_pending{tenant="other"}`]; !ok {
+		t.Fatal(`aggregated tenant="other" row missing`)
+	}
+	if int(total) != MaxTenantLabels+4 {
+		t.Fatalf("aggregated pending %v, want %d", total, MaxTenantLabels+4)
+	}
+	release()
+	waitFor(t, 10*time.Second, func() bool { return srv.Pending() == 0 })
+}
+
+// TestResultRetention pins the memory bound on terminal records: the
+// per-tenant cap evicts the oldest result immediately and the TTL sweeper
+// evicts the rest, after which the IDs answer 404 and the tenant record
+// itself is gone.
+func TestResultRetention(t *testing.T) {
+	srv, ts := startServer(t, Config{
+		Workers:              1,
+		ResultTTL:            200 * time.Millisecond,
+		MaxRetainedPerTenant: 1,
+	})
+	c := &Client{BaseURL: ts.URL, APIKey: "hoarder"}
+	ctx := context.Background()
+	reads := fastaWorkload(t, 70, 600, 20)
+
+	first, err := c.Submit(ctx, SubmitRequest{Engine: "software", Reads: reads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, first.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Submit(ctx, SubmitRequest{Engine: "software", Reads: reads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, second.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cap eviction: retaining the second result pushed out the first.
+	if _, err := c.Status(ctx, first.ID); !isStatus(err, http.StatusNotFound) {
+		t.Fatalf("capped-out job still pollable: err=%v", err)
+	}
+	// TTL eviction: the sweeper ages out the second within a few periods.
+	waitFor(t, 10*time.Second, func() bool {
+		_, err := c.Status(ctx, second.ID)
+		return isStatus(err, http.StatusNotFound)
+	})
+	srv.mu.Lock()
+	_, alive := srv.tenants["hoarder"]
+	jobs := len(srv.jobs)
+	srv.mu.Unlock()
+	if alive {
+		t.Fatal("idle tenant record not dropped after eviction")
+	}
+	if jobs != 0 {
+		t.Fatalf("%d job records linger after eviction", jobs)
+	}
+}
+
+// TestDrainStatsSurviveEviction pins that Drain's tally counts every job
+// ever admitted even when retention already evicted the records.
+func TestDrainStatsSurviveEviction(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxRetainedPerTenant: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	reads := fastaWorkload(t, 80, 600, 20)
+	for i := 0; i < 3; i++ {
+		st, err := c.Submit(ctx, SubmitRequest{Engine: "software", Reads: reads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, st.ID, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if stats := srv.Drain(dctx); stats.Done != 3 {
+		t.Fatalf("drain stats %v, want 3 done despite eviction", stats)
+	}
 }
 
 // TestConcurrentSubmitPollDrain drives concurrent submits, polls, metric
