@@ -9,9 +9,9 @@ GO ?= go
 # these. internal/eval runs with -short so the race pass exercises the
 # harness — including the concurrent cross-engine comparison experiment —
 # without repeating the full multi-second golden runs.
-RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/correct/... ./internal/debruijn/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/genome/... ./internal/jobqueue/... ./internal/kmer/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/service/... ./internal/shard/... ./internal/subarray/...
+RACE_PKGS = ./internal/assembly/... ./internal/bitvec/... ./internal/circuit/... ./internal/core/... ./internal/correct/... ./internal/debruijn/... ./internal/distshard/... ./internal/dram/... ./internal/engine/... ./internal/exec/... ./internal/genome/... ./internal/jobqueue/... ./internal/kmer/... ./internal/parallel/... ./internal/perfmodel/... ./internal/sched/... ./internal/service/... ./internal/shard/... ./internal/subarray/...
 
-.PHONY: all check ci fmt-check build vet test test-race fuzz-smoke bench reproduce examples clean lint lint-tools service-smoke
+.PHONY: all check ci fmt-check build vet test test-race fuzz-smoke bench reproduce examples clean lint lint-tools service-smoke dist-smoke
 
 all: check
 
@@ -65,12 +65,18 @@ lint:
 service-smoke:
 	$(GO) run ./cmd/servicesmoke
 
+# End-to-end smoke of the multi-process sharded path: build the real
+# cmd/assemble binary, run the same 4-shard out-of-core workload in-process
+# and across 2 worker processes, and byte-compare the contigs.
+dist-smoke:
+	$(GO) run ./cmd/distsmoke
+
 # Short fuzzing pass over every fuzz target in FUZZ_PKGS (Go runs one
 # target per -fuzz invocation, so this loops over `go test -list` per
 # package). FUZZTIME=10s is the CI smoke budget; raise it locally for a
 # real hunt.
 FUZZTIME ?= 10s
-FUZZ_PKGS = ./internal/genome ./internal/debruijn ./internal/kmer
+FUZZ_PKGS = ./internal/genome ./internal/debruijn ./internal/kmer ./internal/distshard
 
 fuzz-smoke:
 	@for pkg in $(FUZZ_PKGS); do \
@@ -85,7 +91,7 @@ fuzz-smoke:
 # (benchmark name -> iterations + every value/unit pair). BENCHTIME=1x is
 # the CI smoke mode: every benchmark runs once, proving the benchjson
 # artefact pipeline still parses without paying full measurement time.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 BENCHTIME ?= 1s
 
 bench:
@@ -93,12 +99,14 @@ bench:
 	@echo "wrote $(BENCH_OUT)"
 
 # The full local gate, one-to-one with .github/workflows/ci.yml: the check
-# suite, lint, the daemon smoke, the ingestion fuzz smoke, and the bench
-# smoke run. Keep the two in sync — CI must run exactly these commands.
+# suite, lint, the daemon smoke, the multi-process sharding smoke, the
+# ingestion fuzz smoke, and the bench smoke run. Keep the two in sync — CI
+# must run exactly these commands.
 ci:
 	$(MAKE) check
 	$(MAKE) lint
 	$(MAKE) service-smoke
+	$(MAKE) dist-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench BENCH_OUT=/tmp/bench.json BENCHTIME=1x
 

@@ -10,11 +10,20 @@
 //	assemble -in reads.fasta -k 16 -out contigs.fasta [-engine pim] [-scaffold] [-estimate]
 //	assemble -in reads.fasta -shards 4 [-shard-engines software,pim]
 //	assemble -in reads.fasta -shards 4 -spill-dir /tmp/spill [-max-resident-reads 65536]
+//	assemble -in reads.fasta -shards 4 -spill-dir /tmp/spill -worker-procs 2
 //	assemble -batch jobs.manifest [-workers 4]
 //	assemble -list-engines
+//	assemble -worker   (internal: serve shard jobs over stdin/stdout)
 //
-// Exit codes: 0 on success, 1 when a run (or any batch job) fails, 2 on
-// usage errors (bad flags, unreadable manifest, unknown engine name).
+// With -worker-procs N the out-of-core run goes multi-process: the
+// coordinator launches N copies of this binary in -worker mode, dispatches
+// one spill file per shard over the length-prefixed frame protocol, and
+// merges the per-shard reports through the exact in-process merge path —
+// the output is byte-identical to the same run without -worker-procs.
+//
+// Exit codes: 0 on success, 1 when a run (or any batch job or worker
+// serving loop) fails, 2 on usage errors (bad flags, unreadable manifest,
+// unknown engine name).
 package main
 
 import (
@@ -27,11 +36,16 @@ import (
 
 	"pimassembler/internal/assembly"
 	"pimassembler/internal/debruijn"
+	"pimassembler/internal/distshard"
 	"pimassembler/internal/engine"
 	"pimassembler/internal/genome"
 	workerpool "pimassembler/internal/parallel"
 	"pimassembler/internal/shard"
 )
+
+// workerStdin is the stream a -worker process serves; a variable so tests
+// can drive the worker loop without owning the process's real stdin.
+var workerStdin io.Reader = os.Stdin
 
 // Exit codes, documented in -h output.
 const (
@@ -72,11 +86,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shardEng   = fs.String("shard-engines", "", "comma-separated engine list assigned to shards round-robin (requires -shards; default: -engine)")
 		spillDir   = fs.String("spill-dir", "", "out-of-core sharding: stream the input into per-shard spill files under this directory instead of holding the reads in memory (requires -shards)")
 		maxRes     = fs.Int("max-resident-reads", 0, "out-of-core sharding: cap the decoded reads resident in memory across spilling and shard assembly (requires -spill-dir; 0 = default)")
+		workerN    = fs.Int("worker-procs", 0, "distribute the out-of-core shards across N worker processes of this binary (requires -spill-dir; output is byte-identical to the in-process run)")
+		workerTO   = fs.Duration("worker-timeout", 0, "per-shard attempt timeout for -worker-procs dispatch (0 = none)")
+		workerRty  = fs.Int("worker-retries", 0, "extra attempts per shard for -worker-procs dispatch; crashed or timed-out workers are respawned")
+		workerMode = fs.Bool("worker", false, "internal: serve shard jobs over stdin/stdout for a -worker-procs coordinator")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: assemble -in reads.fasta [flags]")
 		fmt.Fprintln(stderr, "       assemble -in reads.fasta -shards N [-shard-engines a,b,c] [flags]")
 		fmt.Fprintln(stderr, "       assemble -in reads.fasta -shards N -spill-dir DIR [-max-resident-reads M] [flags]")
+		fmt.Fprintln(stderr, "       assemble -in reads.fasta -shards N -spill-dir DIR -worker-procs P [flags]")
 		fmt.Fprintln(stderr, "       assemble -batch jobs.manifest [flags]")
 		fmt.Fprintln(stderr, "       assemble -list-engines")
 		fmt.Fprintln(stderr, "\nexit codes: 0 success; 1 run or batch-job failure; 2 usage error")
@@ -90,6 +109,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	workerpool.SetWorkers(*workers)
+	if *workerMode {
+		// Worker mode ignores every other flag: the coordinator drives the
+		// whole run over the pipes, including the options and engine names.
+		if err := distshard.RunWorker(workerStdin, stdout, nil); err != nil {
+			fmt.Fprintln(stderr, "assemble:", err)
+			return exitRuntime
+		}
+		return exitOK
+	}
 	if *listEng {
 		for _, e := range engine.Engines() {
 			fmt.Fprintf(stdout, "%-14s %s\n", e.Name(), e.Describe())
@@ -137,6 +165,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *maxRes != 0 && *spillDir == "" {
 		fmt.Fprintln(stderr, "assemble: -max-resident-reads requires -spill-dir")
+		return exitUsage
+	}
+	if *workerN > 0 && *spillDir == "" {
+		fmt.Fprintln(stderr, "assemble: -worker-procs requires -spill-dir")
+		return exitUsage
+	}
+	if (*workerTO != 0 || *workerRty != 0) && *workerN <= 0 {
+		fmt.Fprintln(stderr, "assemble: -worker-timeout and -worker-retries require -worker-procs")
 		return exitUsage
 	}
 	if *spillDir != "" && *paired {
@@ -213,13 +249,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *spillDir != "":
 		var code int
 		rep, nReads, code = runSpill(context.Background(), *in, spillPlanConfig{
-			dir:         *spillDir,
-			shards:      *shards,
-			maxResident: *maxRes,
-			engines:     shardNames,
-			opts:        opts,
-			workers:     *workers,
-			parallel:    *parallel,
+			dir:           *spillDir,
+			shards:        *shards,
+			maxResident:   *maxRes,
+			engines:       shardNames,
+			opts:          opts,
+			workers:       *workers,
+			parallel:      *parallel,
+			workerProcs:   *workerN,
+			workerTimeout: *workerTO,
+			workerRetries: *workerRty,
 		}, stdout, stderr)
 		if code != exitOK {
 			return code

@@ -5,22 +5,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"pimassembler/internal/distshard"
 	"pimassembler/internal/engine"
 	"pimassembler/internal/genome"
+	"pimassembler/internal/jobqueue"
 	"pimassembler/internal/metrics"
 	"pimassembler/internal/shard"
 )
 
 // spillPlanConfig carries the flag state for one out-of-core run.
 type spillPlanConfig struct {
-	dir         string
-	shards      int
-	maxResident int
-	engines     []string
-	opts        engine.Options
-	workers     int
-	parallel    bool
+	dir           string
+	shards        int
+	maxResident   int
+	engines       []string
+	opts          engine.Options
+	workers       int
+	parallel      bool
+	workerProcs   int
+	workerTimeout time.Duration
+	workerRetries int
 }
 
 // runSpill executes the out-of-core sharded path: stream the input into
@@ -56,13 +62,27 @@ func runSpill(ctx context.Context, in string, cfg spillPlanConfig, stdout, stder
 	fmt.Fprintf(stdout, "out-of-core: %d reads -> %d spill files (%d bytes, %d evictions), resident cap %d reads\n",
 		sp.TotalReads(), sp.Shards(), sp.Bytes(), sp.Evictions(), cap)
 
-	res, err := shard.AssembleSpill(ctx, sp, shard.Plan{
-		Engines:          cfg.engines,
-		Opts:             cfg.opts,
-		Workers:          cfg.workers,
-		MaxResidentReads: cfg.maxResident,
-		Counters:         counters,
-	})
+	var res *shard.Result
+	if cfg.workerProcs > 0 {
+		fmt.Fprintf(stdout, "distributed: dispatching %d spill files across %d worker processes\n",
+			sp.Shards(), cfg.workerProcs)
+		res, err = distshard.Assemble(ctx, sp, distshard.Config{
+			WorkerProcs: cfg.workerProcs,
+			Engines:     cfg.engines,
+			Opts:        cfg.opts,
+			Timeout:     cfg.workerTimeout,
+			Retry:       jobqueue.RetryPolicy{MaxAttempts: cfg.workerRetries + 1},
+			Counters:    counters,
+		})
+	} else {
+		res, err = shard.AssembleSpill(ctx, sp, shard.Plan{
+			Engines:          cfg.engines,
+			Opts:             cfg.opts,
+			Workers:          cfg.workers,
+			MaxResidentReads: cfg.maxResident,
+			Counters:         counters,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "assemble:", err)
 		return nil, 0, exitRuntime

@@ -1,0 +1,145 @@
+// Command distsmoke is the CI smoke test for the multi-process sharded
+// assembly path, run by `make dist-smoke`. It builds the real cmd/assemble
+// binary, runs the same out-of-core workload twice — once in-process
+// (-shards 4 -spill-dir) and once distributed (-worker-procs 2, coordinator
+// plus two worker processes of that same binary) — and pins the external
+// contracts:
+//
+//  1. the distributed contig FASTA is byte-identical to the in-process one
+//     (the coordinator merges through the exact in-process merge path),
+//  2. both runs exit 0 and report the same deterministic stdout summary
+//     (modulo the distributed dispatch banner),
+//  3. the spill directories are empty after both runs — no leaked spill
+//     state, and (implicitly, via the coordinator's teardown) no leaked
+//     worker processes.
+//
+// Exit code 0 when every check passes, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"pimassembler/internal/genome"
+	"pimassembler/internal/stats"
+)
+
+func main() {
+	if err := smoke(); err != nil {
+		fmt.Fprintln(os.Stderr, "dist-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dist-smoke: OK")
+}
+
+func smoke() error {
+	dir, err := os.MkdirTemp("", "distsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Build the real binary exactly as a release would.
+	assemble := filepath.Join(dir, "assemble")
+	cmd := exec.Command("go", "build", "-o", assemble, "./cmd/assemble")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("go build ./cmd/assemble: %v\n%s", err, out)
+	}
+
+	// Deterministic workload shared by both runs.
+	readsPath := filepath.Join(dir, "reads.fasta")
+	if err := writeReads(readsPath, 42, 8_000, 600); err != nil {
+		return err
+	}
+
+	run := func(label, outPath, spillDir string, extra ...string) (string, error) {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return "", err
+		}
+		args := append([]string{
+			"-in", readsPath, "-k", "16", "-shards", "4",
+			"-spill-dir", spillDir, "-out", outPath,
+		}, extra...)
+		cmd := exec.Command(assemble, args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return "", fmt.Errorf("%s run: %v\nstderr:\n%s", label, err, stderr.String())
+		}
+		ents, err := os.ReadDir(spillDir)
+		if err != nil {
+			return "", err
+		}
+		if len(ents) != 0 {
+			return "", fmt.Errorf("%s run leaked spill state under %s: %v", label, spillDir, ents)
+		}
+		return stdout.String(), nil
+	}
+
+	inprocOut, err := run("in-process", filepath.Join(dir, "inproc.fasta"), filepath.Join(dir, "spill-inproc"))
+	if err != nil {
+		return err
+	}
+	distOut, err := run("distributed", filepath.Join(dir, "dist.fasta"), filepath.Join(dir, "spill-dist"),
+		"-worker-procs", "2", "-worker-timeout", "2m", "-worker-retries", "1")
+	if err != nil {
+		return err
+	}
+
+	// Contract 1: byte-identical contig FASTA.
+	a, err := os.ReadFile(filepath.Join(dir, "inproc.fasta"))
+	if err != nil {
+		return err
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "dist.fasta"))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("distributed contigs differ from the in-process run (%d vs %d bytes)", len(b), len(a))
+	}
+	if len(a) == 0 {
+		return fmt.Errorf("empty contig output")
+	}
+
+	// Contract 2: identical deterministic stdout, modulo the dispatch banner.
+	var distLines []string
+	for _, line := range strings.Split(distOut, "\n") {
+		if strings.HasPrefix(line, "distributed: ") {
+			continue
+		}
+		distLines = append(distLines, line)
+	}
+	if got := strings.Join(distLines, "\n"); got != inprocOut {
+		return fmt.Errorf("distributed stdout diverged from the in-process run:\n--- in-process ---\n%s\n--- distributed ---\n%s", inprocOut, got)
+	}
+	if !strings.Contains(distOut, "distributed: dispatching 4 spill files across 2 worker processes") {
+		return fmt.Errorf("distributed run missing its dispatch banner:\n%s", distOut)
+	}
+	fmt.Printf("dist-smoke: 4 shards via 2 worker processes, %d bytes of contigs byte-identical to the in-process run\n", len(a))
+	return nil
+}
+
+// writeReads samples a deterministic read set and writes it as FASTA.
+func writeReads(path string, seed uint64, genomeLen, n int) error {
+	rng := stats.NewRNG(seed)
+	ref := genome.GenerateGenome(genomeLen, rng)
+	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(n)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rw := genome.NewRecordWriter(f)
+	for i, r := range reads {
+		if err := rw.Write(genome.Record{Name: fmt.Sprintf("r%d", i), Seq: r}); err != nil {
+			return err
+		}
+	}
+	return rw.Flush()
+}

@@ -1,0 +1,99 @@
+package pimassembler
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/distshard"
+	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
+	"pimassembler/internal/shard"
+	"pimassembler/internal/stats"
+)
+
+// TestMain doubles as the worker-process entry point for BenchmarkDistShard:
+// with PIMASSEMBLER_WORKER set, the test binary serves the distshard frame
+// protocol over its pipes instead of running the suite — the same
+// same-binary re-exec pattern cmd/assemble's -worker mode uses.
+func TestMain(m *testing.M) {
+	if os.Getenv("PIMASSEMBLER_WORKER") == "1" {
+		if err := distshard.RunWorker(os.Stdin, os.Stdout, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// --- Multi-process sharding (DESIGN.md §17) ---
+
+// BenchmarkDistShard measures the multi-process sharded path on the
+// BenchmarkShardSpill workload: partition-to-disk plus coordinator dispatch
+// to real worker processes, against the in-process out-of-core run of the
+// same spill. The per-worker-count ns/op spread is the process-orchestration
+// overhead (spawn, handshake, frame codec, report decode) on top of the
+// identical assembly work; merged contigs are byte-identical throughout.
+func BenchmarkDistShard(b *testing.B) {
+	rng := stats.NewRNG(11)
+	ref := genome.GenerateGenome(20_000, rng)
+	reads := genome.NewReadSampler(ref, 101, 0, rng).Sample(2_000)
+	var fasta bytes.Buffer
+	rw := genome.NewRecordWriter(&fasta)
+	for i, r := range reads {
+		if err := rw.Write(genome.Record{Name: fmt.Sprintf("r%d", i), Seq: r}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := engine.Options{Options: assembly.Options{K: 16}}
+	ctx := context.Background()
+	spill := func(b *testing.B, dir string) *shard.Spill {
+		sp, err := shard.Partition(ctx, bytes.NewReader(fasta.Bytes()), genome.FormatFASTA,
+			shard.SpillConfig{Shards: 4, Dir: dir, MaxResidentReads: len(reads) / 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sp
+	}
+
+	b.Run("in-proc", func(b *testing.B) {
+		b.ReportAllocs()
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			sp := spill(b, dir)
+			if _, err := shard.AssembleSpill(ctx, sp, shard.Plan{Opts: opts}); err != nil {
+				b.Fatal(err)
+			}
+			sp.Close()
+		}
+	})
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				sp := spill(b, dir)
+				if _, err := distshard.Assemble(ctx, sp, distshard.Config{
+					WorkerProcs: procs,
+					WorkerCmd:   []string{exe},
+					Env:         []string{"PIMASSEMBLER_WORKER=1"},
+					Opts:        opts,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				sp.Close()
+			}
+		})
+	}
+}

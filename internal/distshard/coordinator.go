@@ -1,0 +1,578 @@
+package distshard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"pimassembler/internal/engine"
+	"pimassembler/internal/jobqueue"
+	"pimassembler/internal/metrics"
+	"pimassembler/internal/shard"
+)
+
+// DefaultHandshakeTimeout bounds how long the coordinator waits for a
+// freshly spawned worker's hello echo.
+const DefaultHandshakeTimeout = 10 * time.Second
+
+// shutdownGrace is how long a worker gets to exit after the bye frame
+// before it is force-killed.
+const shutdownGrace = 2 * time.Second
+
+// Config describes one distributed sharded run.
+type Config struct {
+	// WorkerProcs is how many worker processes to launch (values < 1 mean
+	// one; clamped to the non-empty shard count so no worker sits idle).
+	WorkerProcs int
+	// WorkerCmd is the argv launching one worker (empty means this
+	// process's own executable with "-worker" appended — the same-binary
+	// default cmd/assemble uses).
+	WorkerCmd []string
+	// Env is appended to the inherited environment of every worker
+	// process (the test harnesses select helper behaviours through it).
+	Env []string
+	// Engines names the execution paths, assigned to non-empty shards
+	// round-robin exactly as shard.AssembleSpill assigns them (empty means
+	// the software reference engine).
+	Engines []string
+	// Opts configures each shard's engine run. StreamStage1 is forced on
+	// for dispatch, mirroring the in-process spill path; Ref and Counts do
+	// not cross the wire (quality is scored in the merge pass).
+	Opts engine.Options
+	// Registry validates engine names coordinator-side before any process
+	// is launched (nil = engine.Default()). Workers resolve names against
+	// their own default registry — the same one, being the same binary.
+	Registry *engine.Registry
+	// Timeout bounds each dispatch attempt when positive; an attempt that
+	// exceeds it kills the worker and counts against the retry budget.
+	Timeout time.Duration
+	// Retry carries the jobqueue attempt semantics across processes:
+	// MaxAttempts bounds the attempts per shard and Delay schedules the
+	// backoff between them. Worker crashes, corrupt frames, and timeouts
+	// are transient (retried on a respawned worker); an error frame is
+	// retried only if the worker classified it transient.
+	Retry jobqueue.RetryPolicy
+	// HandshakeTimeout bounds the hello exchange per spawn
+	// (0 = DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
+	// Counters optionally receives the dist.* instrumentation
+	// (dist.workers, dist.respawns, dist.jobs, dist.retries, dist.results,
+	// dist.timeouts, dist.frame.errors).
+	Counters *metrics.Counters
+}
+
+// engines returns the effective engine list.
+func (c Config) engines() []string {
+	if len(c.Engines) == 0 {
+		return []string{"software"}
+	}
+	return c.Engines
+}
+
+// registry returns the effective coordinator-side registry.
+func (c Config) registry() *engine.Registry {
+	if c.Registry != nil {
+		return c.Registry
+	}
+	return engine.Default()
+}
+
+// handshakeTimeout returns the effective handshake bound.
+func (c Config) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout > 0 {
+		return c.HandshakeTimeout
+	}
+	return DefaultHandshakeTimeout
+}
+
+// attempts returns the effective per-shard attempt budget (RetryPolicy
+// semantics: values < 1 mean one attempt).
+func (c Config) attempts() int {
+	if c.Retry.MaxAttempts < 1 {
+		return 1
+	}
+	return c.Retry.MaxAttempts
+}
+
+// count bumps a dist counter when instrumentation is attached.
+func (c Config) count(name string, delta int64) {
+	if c.Counters != nil {
+		c.Counters.Add(name, delta)
+	}
+}
+
+// dispatchJob is one shard's dispatch unit: idx is the compact launch
+// index (non-empty shards in shard order — the slot order shard.Merge
+// expects), shard the spill-file index.
+type dispatchJob struct {
+	idx    int
+	shard  int
+	engine string
+	path   string
+}
+
+// Assemble runs one distributed sharded assembly over a completed spill
+// partition: launch workers, dispatch one spill file per job, collect the
+// per-shard reports, and merge them through shard.Merge — the exact
+// in-process merge path, so for count-independent options the merged
+// contigs are byte-identical to shard.AssembleSpill and to an unsharded
+// run. Any shard that exhausts its attempt budget fails the run with the
+// shard index and engine named; workers are torn down (and reaped) on
+// every exit path, including context cancellation.
+//
+// The caller owns sp and should Close it after use.
+func Assemble(ctx context.Context, sp *shard.Spill, cfg Config) (*shard.Result, error) {
+	if sp == nil || sp.TotalReads() == 0 {
+		return nil, fmt.Errorf("distshard: no reads")
+	}
+	engines := cfg.engines()
+	reg := cfg.registry()
+	for _, name := range engines {
+		if _, err := reg.Lookup(name); err != nil {
+			return nil, err
+		}
+	}
+	workerCmd := cfg.WorkerCmd
+	if len(workerCmd) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("distshard: resolving worker binary: %w", err)
+		}
+		workerCmd = []string{exe, "-worker"}
+	}
+
+	// Mirror the in-process spill path: stage-1 streaming forced on, empty
+	// tail shards skipped, engines assigned round-robin over the compact
+	// launch order.
+	opts := cfg.Opts
+	opts.StreamStage1 = true
+	wopts := wireOptions(opts)
+	hello := &Hello{Proto: ProtoVersion, K: opts.K, OptHash: wopts.hash()}
+
+	var jobs []dispatchJob
+	for i := 0; i < sp.Shards(); i++ {
+		if sp.Count(i) == 0 {
+			continue
+		}
+		jobs = append(jobs, dispatchJob{
+			idx:    len(jobs),
+			shard:  i,
+			engine: engines[len(jobs)%len(engines)],
+			path:   sp.Path(i),
+		})
+	}
+	names := make([]string, len(jobs))
+	for _, j := range jobs {
+		names[j.idx] = j.engine
+	}
+
+	procs := cfg.WorkerProcs
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > len(jobs) {
+		procs = len(jobs)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	co := &coordinator{cfg: cfg, cmd: workerCmd, hello: hello, wopts: wopts}
+
+	jobsCh := make(chan dispatchJob)
+	go func() {
+		defer close(jobsCh)
+		for _, j := range jobs {
+			select {
+			case jobsCh <- j:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	reports := make([]*engine.Report, len(jobs))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			co.runWorkerLoop(runCtx, jobsCh, reports, setErr)
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return shard.Merge(reports, names, cfg.Opts)
+}
+
+// coordinator carries the per-run dispatch state shared by the worker
+// runner goroutines.
+type coordinator struct {
+	cfg   Config
+	cmd   []string
+	hello *Hello
+	wopts Options
+}
+
+// runWorkerLoop owns one worker process slot: it pulls jobs, keeps a live
+// (respawned as needed) worker under it, and records each shard's report.
+// The first terminal failure cancels the run through setErr.
+func (c *coordinator) runWorkerLoop(ctx context.Context, jobsCh <-chan dispatchJob, reports []*engine.Report, setErr func(error)) {
+	var proc *workerProc
+	defer func() {
+		if proc == nil {
+			return
+		}
+		if ctx.Err() != nil {
+			proc.reap()
+		} else {
+			proc.quit(shutdownGrace)
+		}
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j, ok := <-jobsCh:
+			if !ok {
+				return
+			}
+			rep, err := c.runShard(ctx, &proc, j)
+			if err != nil {
+				if ctx.Err() == nil {
+					setErr(err)
+				}
+				return
+			}
+			reports[j.idx] = rep
+		}
+	}
+}
+
+// runShard drives one shard through its attempt budget on *procp,
+// respawning the worker after any attempt that killed it.
+func (c *coordinator) runShard(ctx context.Context, procp **workerProc, j dispatchJob) (*engine.Report, error) {
+	budget := c.cfg.attempts()
+	c.cfg.count("dist.jobs", 1)
+	for attempt := 1; ; attempt++ {
+		if *procp == nil {
+			p, err := c.spawn(ctx, attempt > 1)
+			if err != nil {
+				return nil, fmt.Errorf("distshard: shard %d (engine %s): %w", j.shard, j.engine, err)
+			}
+			*procp = p
+		}
+		rep, err, dead := c.dispatch(ctx, *procp, j)
+		if err == nil {
+			c.cfg.count("dist.results", 1)
+			return rep, nil
+		}
+		if dead {
+			(*procp).reap()
+			*procp = nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt >= budget || !jobqueue.Transient(err) {
+			return nil, fmt.Errorf("distshard: shard %d (engine %s): %w", j.shard, j.engine, err)
+		}
+		c.cfg.count("dist.retries", 1)
+		if err := sleep(ctx, c.cfg.Retry.Delay(attempt+1)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// dispatch sends one job frame and waits for its reply under the attempt
+// timeout. dead reports whether the worker must be respawned before the
+// next attempt: crashes, corrupt frames, wrong-shard replies, and timeouts
+// kill it; a well-formed error frame leaves it serving.
+func (c *coordinator) dispatch(ctx context.Context, p *workerProc, j dispatchJob) (rep *engine.Report, err error, dead bool) {
+	job := &Msg{Type: MsgJob, Job: &Job{Shard: j.shard, Engine: j.engine, SpillPath: j.path, Opts: c.wopts}}
+	if err := writeFrame(p.stdin, job); err != nil {
+		c.cfg.count("dist.frame.errors", 1)
+		return nil, jobqueue.MarkTransient(fmt.Errorf("worker %s: %w", p.describe(), err)), true
+	}
+
+	var timeout <-chan time.Time
+	if c.cfg.Timeout > 0 {
+		t := time.NewTimer(c.cfg.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err(), true
+	case <-timeout:
+		c.cfg.count("dist.timeouts", 1)
+		return nil, jobqueue.MarkTransient(fmt.Errorf("worker %s: attempt timed out after %v", p.describe(), c.cfg.Timeout)), true
+	case fe := <-p.frames:
+		if fe.err != nil {
+			c.cfg.count("dist.frame.errors", 1)
+			return nil, jobqueue.MarkTransient(fmt.Errorf("worker %s died mid-shard: %w%s", p.describe(), fe.err, p.stderrTail())), true
+		}
+		switch fe.msg.Type {
+		case MsgResult:
+			if fe.msg.Result.Shard != j.shard {
+				c.cfg.count("dist.frame.errors", 1)
+				return nil, jobqueue.MarkTransient(fmt.Errorf("worker %s answered shard %d for shard %d", p.describe(), fe.msg.Result.Shard, j.shard)), true
+			}
+			rep, err := fromWireReport(fe.msg.Result)
+			if err != nil {
+				c.cfg.count("dist.frame.errors", 1)
+				return nil, jobqueue.MarkTransient(err), true
+			}
+			return rep, nil, false
+		case MsgError:
+			we := fe.msg.Error
+			if we.Shard != j.shard {
+				c.cfg.count("dist.frame.errors", 1)
+				return nil, jobqueue.MarkTransient(fmt.Errorf("worker %s answered shard %d for shard %d", p.describe(), we.Shard, j.shard)), true
+			}
+			if we.Transient {
+				return nil, jobqueue.MarkTransient(we), false
+			}
+			return nil, we, false
+		default:
+			c.cfg.count("dist.frame.errors", 1)
+			return nil, jobqueue.MarkTransient(fmt.Errorf("worker %s: unexpected frame %q", p.describe(), fe.msg.Type)), true
+		}
+	}
+}
+
+// spawn launches one worker process and completes the handshake. Spawn and
+// handshake failures are terminal — a binary that cannot start or speaks
+// the wrong protocol version will not get better on retry.
+func (c *coordinator) spawn(ctx context.Context, respawn bool) (*workerProc, error) {
+	cmd := exec.Command(c.cmd[0], c.cmd[1:]...)
+	cmd.Env = append(os.Environ(), c.cfg.Env...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	stderr := &tailBuffer{limit: 4096}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("launching worker %q: %w", c.cmd[0], err)
+	}
+	c.cfg.count("dist.workers", 1)
+	if respawn {
+		c.cfg.count("dist.respawns", 1)
+	}
+	p := &workerProc{
+		cmd:    cmd,
+		stdin:  stdin,
+		stderr: stderr,
+		frames: make(chan frameOrErr),
+		done:   make(chan struct{}),
+	}
+	go p.readLoop(stdout)
+
+	if err := p.handshake(ctx, c.hello, c.cfg.handshakeTimeout()); err != nil {
+		p.reap()
+		return nil, fmt.Errorf("worker handshake: %w%s", err, p.stderrTail())
+	}
+	return p, nil
+}
+
+// frameOrErr is one reader-goroutine delivery: a decoded frame or the
+// terminal read error (io.EOF when the worker closed its stdout).
+type frameOrErr struct {
+	msg *Msg
+	err error
+}
+
+// workerProc is one live worker process plus its pipe plumbing. All
+// methods are called from the owning runner goroutine only.
+type workerProc struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stderr *tailBuffer
+	// frames delivers decoded frames (or the terminal read error) from
+	// the reader goroutine; done tears the reader down when the process
+	// is reaped before its stream ended.
+	frames chan frameOrErr
+	done   chan struct{}
+	reaped bool
+}
+
+// readLoop decodes frames off the worker's stdout until the stream ends;
+// the terminal error (io.EOF on clean exit) is delivered like a frame.
+func (p *workerProc) readLoop(stdout io.Reader) {
+	br := bufio.NewReader(stdout)
+	for {
+		m, err := readFrame(br)
+		select {
+		case p.frames <- frameOrErr{msg: m, err: err}:
+		case <-p.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handshake sends the hello and verifies the worker's echo: its protocol
+// version must match this binary's, and k and the option hash must echo
+// back verbatim.
+func (p *workerProc) handshake(ctx context.Context, hello *Hello, timeout time.Duration) error {
+	if err := writeFrame(p.stdin, &Msg{Type: MsgHello, Hello: hello}); err != nil {
+		return err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return fmt.Errorf("no hello reply within %v", timeout)
+	case fe := <-p.frames:
+		if fe.err != nil {
+			return fe.err
+		}
+		if fe.msg.Type != MsgHello {
+			return fmt.Errorf("expected hello echo, got %q", fe.msg.Type)
+		}
+		h := fe.msg.Hello
+		if h.Proto != ProtoVersion {
+			return fmt.Errorf("protocol version mismatch: worker speaks %d, this binary speaks %d", h.Proto, ProtoVersion)
+		}
+		if h.K != hello.K || h.OptHash != hello.OptHash {
+			return fmt.Errorf("handshake echo mismatch: k=%d hash=%s, want k=%d hash=%s", h.K, h.OptHash, hello.K, hello.OptHash)
+		}
+		return nil
+	}
+}
+
+// describe names the process for error messages.
+func (p *workerProc) describe() string {
+	if p.cmd.Process != nil {
+		return fmt.Sprintf("pid %d", p.cmd.Process.Pid)
+	}
+	return "(not started)"
+}
+
+// stderrTail renders the captured stderr tail for error messages.
+func (p *workerProc) stderrTail() string {
+	s := p.stderr.String()
+	if s == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (worker stderr: %q)", s)
+}
+
+// reap force-kills the worker and waits for it, so no exit path leaves a
+// zombie. Idempotent.
+func (p *workerProc) reap() {
+	if p.reaped {
+		return
+	}
+	p.reaped = true
+	close(p.done)
+	p.stdin.Close()
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	p.cmd.Wait()
+}
+
+// quit asks the worker to exit cleanly — bye frame, stdin close — and
+// reaps it; a worker that has not closed its stdout within grace is
+// force-killed. Idempotent via reap.
+func (p *workerProc) quit(grace time.Duration) {
+	if p.reaped {
+		return
+	}
+	writeFrame(p.stdin, &Msg{Type: MsgBye})
+	p.stdin.Close()
+	t := time.NewTimer(grace)
+	defer t.Stop()
+	for {
+		select {
+		case fe := <-p.frames:
+			if fe.err != nil {
+				// Stream ended: the worker is exiting; reap without the
+				// kill being necessary (Wait still runs to collect it).
+				p.reaped = true
+				close(p.done)
+				p.cmd.Wait()
+				return
+			}
+			// A straggler frame after bye: drain and keep waiting.
+		case <-t.C:
+			p.reap()
+			return
+		}
+	}
+}
+
+// tailBuffer retains the first limit bytes written (worker stderr capture
+// for error messages; a chatty worker cannot grow it unboundedly).
+type tailBuffer struct {
+	mu    sync.Mutex
+	limit int
+	buf   bytes.Buffer
+}
+
+func (b *tailBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if room := b.limit - b.buf.Len(); room > 0 {
+		if len(p) > room {
+			b.buf.Write(p[:room])
+		} else {
+			b.buf.Write(p)
+		}
+	}
+	return len(p), nil
+}
+
+func (b *tailBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// sleep waits d or until ctx ends (the jobqueue backoff discipline).
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,89 @@
+package distshard
+
+import (
+	"fmt"
+
+	"pimassembler/internal/assembly"
+	"pimassembler/internal/core"
+	"pimassembler/internal/debruijn"
+	"pimassembler/internal/engine"
+	"pimassembler/internal/genome"
+)
+
+// toWireReport projects one shard's engine report onto the wire: contig
+// and scaffold sequences as ACGT text, counts and timings verbatim, and
+// the functional accounting reduced to the aggregate view the merge
+// algebra consumes.
+func toWireReport(shard int, rep *engine.Report) *WireReport {
+	w := &WireReport{
+		Shard:   shard,
+		Engine:  rep.Engine,
+		Family:  int(rep.Family),
+		Counts:  rep.Counts,
+		Timings: rep.Timings,
+		Cost:    rep.Cost,
+	}
+	w.Contigs = make([]WireContig, len(rep.Contigs))
+	for i, c := range rep.Contigs {
+		w.Contigs[i] = WireContig{
+			Seq:          c.Seq.String(),
+			EdgeCount:    c.EdgeCount,
+			MeanCoverage: c.MeanCoverage,
+		}
+	}
+	for _, s := range rep.Scaffolds {
+		w.Scaffolds = append(w.Scaffolds, WireScaffold{Seq: s.Seq.String(), Contigs: s.Contigs})
+	}
+	if f := rep.Functional; f != nil {
+		w.Functional = &WireFunctional{
+			Commands:        f.Commands,
+			SerialLatencyNS: f.SerialLatencyNS,
+			EnergyPJ:        f.EnergyPJ,
+			Subarrays:       f.Subarrays,
+			Makespan:        f.Makespan,
+		}
+	}
+	return w
+}
+
+// fromWireReport rebuilds the engine report the coordinator merges. The
+// inverse of toWireReport up to the documented trimming: the functional
+// block carries only its aggregate view (no per-stage schedules or
+// histogram), and the Eulerian walk is re-derived by the merge pass.
+func fromWireReport(w *WireReport) (*engine.Report, error) {
+	if w.Family < 0 || w.Family > int(engine.FamilyAnalytical) {
+		return nil, fmt.Errorf("distshard: shard %d report: unknown engine family %d", w.Shard, w.Family)
+	}
+	rep := &engine.Report{
+		Engine:  w.Engine,
+		Family:  engine.Family(w.Family),
+		Counts:  w.Counts,
+		Timings: w.Timings,
+		Cost:    w.Cost,
+	}
+	rep.Contigs = make([]debruijn.Contig, len(w.Contigs))
+	for i, c := range w.Contigs {
+		seq, err := genome.FromString(c.Seq)
+		if err != nil {
+			return nil, fmt.Errorf("distshard: shard %d contig %d: %w", w.Shard, i, err)
+		}
+		rep.Contigs[i] = debruijn.Contig{Seq: seq, EdgeCount: c.EdgeCount, MeanCoverage: c.MeanCoverage}
+	}
+	for i, s := range w.Scaffolds {
+		seq, err := genome.FromString(s.Seq)
+		if err != nil {
+			return nil, fmt.Errorf("distshard: shard %d scaffold %d: %w", w.Shard, i, err)
+		}
+		rep.Scaffolds = append(rep.Scaffolds, assembly.Scaffold{Seq: seq, Contigs: s.Contigs})
+	}
+	if f := w.Functional; f != nil {
+		rep.Functional = &core.Summary{
+			Commands:        f.Commands,
+			SerialLatencyNS: f.SerialLatencyNS,
+			EnergyPJ:        f.EnergyPJ,
+			Subarrays:       f.Subarrays,
+			Makespan:        f.Makespan,
+		}
+	}
+	return rep, nil
+}

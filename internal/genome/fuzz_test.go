@@ -70,6 +70,8 @@ func FuzzReadFASTQ(f *testing.F) {
 		"@r\nACGT\n+\nIIII\n@r2",          // truncated final record (header only)
 		"@r\nACGT\n+\n@@@@\n",             // quality that looks like a header
 		"@@0\nAA\n+\n00\n",                // name itself starting with '@' (fuzzer find)
+		"@0\r0\nAAAA\n+\n0000",            // bare-CR line ending inside a header (fuzzer find)
+		"@r\rACGT\r+\rIIII\r",             // classic-Mac CR-only line endings
 	} {
 		f.Add(seed)
 	}

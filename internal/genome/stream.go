@@ -2,6 +2,7 @@ package genome
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -46,10 +47,10 @@ const (
 
 // Scanner streams FASTA or FASTQ records one at a time, holding only the
 // record in flight — the bounded-memory ingestion path for read sets that
-// do not fit beside the assembly working set. It is tolerant of CRLF line
-// endings and surrounding whitespace (every line is trimmed), skips blank
-// lines, and reports malformed input with the line number of the offending
-// record. Usage mirrors bufio.Scanner:
+// do not fit beside the assembly working set. It is tolerant of LF, CRLF,
+// and bare-CR line endings and surrounding whitespace (every line is
+// trimmed), skips blank lines, and reports malformed input with the line
+// number of the offending record. Usage mirrors bufio.Scanner:
 //
 //	s := genome.NewScanner(r, genome.FormatFASTA)
 //	for s.Scan() {
@@ -76,7 +77,36 @@ type Scanner struct {
 func NewScanner(r io.Reader, format Format) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, scannerInitBuf), scannerMaxLine)
+	sc.Split(scanRecordLines)
 	return &Scanner{sc: sc, format: format}
+}
+
+// scanRecordLines is bufio.ScanLines extended to every line-ending
+// convention: a line ends at "\n", "\r\n", or a bare "\r" (classic Mac).
+// bufio.ScanLines only splits on '\n', so a stray CR inside a header would
+// otherwise survive TrimSpace and embed a line boundary in a record name.
+func scanRecordLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if atEOF && len(data) == 0 {
+		return 0, nil, nil
+	}
+	if i := bytes.IndexAny(data, "\r\n"); i >= 0 {
+		advance = i + 1
+		if data[i] == '\r' {
+			if i+1 < len(data) {
+				if data[i+1] == '\n' {
+					advance = i + 2
+				}
+			} else if !atEOF {
+				// CR at the buffer edge: wait to see whether LF follows.
+				return 0, nil, nil
+			}
+		}
+		return advance, data[:i], nil
+	}
+	if atEOF {
+		return len(data), data, nil
+	}
+	return 0, nil, nil
 }
 
 // Scan advances to the next record. It returns false at end of stream or on

@@ -37,6 +37,16 @@ func (l LatencySummary) String() string {
 // Counter values are deterministic for a deterministic workload; latency
 // values are wall-clock and must never feed deterministic output paths.
 // The zero value is not usable — construct with NewCounters.
+//
+// Established counter families (dotted prefixes, underscored for the
+// Prometheus exposition):
+//
+//   - jobs.*    — internal/jobqueue dispatch (done, failed)
+//   - spill.*   — internal/shard out-of-core partitioning (files, records,
+//     bytes, evictions)
+//   - dist.*    — internal/distshard multi-process dispatch (workers,
+//     respawns, jobs, retries, results, timeouts, frame.errors)
+//   - service.* — the assembly service daemon's admission and lifecycle
 type Counters struct {
 	mu     sync.Mutex
 	counts map[string]int64

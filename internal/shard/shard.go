@@ -193,18 +193,49 @@ func finishRun(st *jobqueue.Stream, res *Result, plan Plan) (*Result, error) {
 		}
 		res.PerShard[i] = r.Report
 	}
-	res.aggregate()
+	return res.finish(plan.Opts)
+}
 
-	if len(res.PerShard) == 1 {
-		res.Report = res.PerShard[0]
-		return res, nil
+// Merge builds the unified Result from per-shard reports that were produced
+// elsewhere — the exported merge path the multi-process coordinator
+// (internal/distshard) feeds with reports reconstructed from worker wire
+// frames. perShard and engines are in shard order and must be the same
+// length; the merge algebra is exactly the in-process one (union-graph
+// contig re-dedup, summed workload counters, makespan max), so for
+// count-independent options the merged contigs are byte-identical whether
+// the shards ran in this process or across a worker fleet.
+func Merge(perShard []*engine.Report, engines []string, opts engine.Options) (*Result, error) {
+	if len(perShard) == 0 {
+		return nil, fmt.Errorf("shard: no shard reports to merge")
 	}
-	rep, err := merge(res, plan.Opts)
+	if len(engines) != len(perShard) {
+		return nil, fmt.Errorf("shard: %d engine names for %d shard reports", len(engines), len(perShard))
+	}
+	for i, rep := range perShard {
+		if rep == nil {
+			return nil, fmt.Errorf("shard: missing report for shard %d (engine %s)", i, engines[i])
+		}
+	}
+	res := &Result{Engines: engines, PerShard: perShard}
+	return res.finish(opts)
+}
+
+// finish aggregates the family accounting and merges the per-shard reports
+// into res.Report — the tail shared by every entry point, in-process or
+// distributed.
+func (r *Result) finish(opts engine.Options) (*Result, error) {
+	r.aggregate()
+
+	if len(r.PerShard) == 1 {
+		r.Report = r.PerShard[0]
+		return r, nil
+	}
+	rep, err := merge(r, opts)
 	if err != nil {
 		return nil, err
 	}
-	res.Report = rep
-	return res, nil
+	r.Report = rep
+	return r, nil
 }
 
 // aggregate folds the per-shard family-specific accounting into the Result.

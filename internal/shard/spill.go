@@ -91,6 +91,11 @@ func (s *Spill) Source(i int) (*genome.FileSource, error) {
 	return genome.OpenFileSource(s.files[i])
 }
 
+// Path returns shard i's spill-file path — the handle the multi-process
+// coordinator hands to worker processes, which open it themselves. The
+// file is gone after Close.
+func (s *Spill) Path(i int) string { return s.files[i] }
+
 // Close removes the spill directory and every file in it.
 func (s *Spill) Close() error {
 	if s.closed {

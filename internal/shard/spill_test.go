@@ -148,6 +148,63 @@ func TestPartitionCleanupOnError(t *testing.T) {
 	}
 }
 
+// cancelAfterReader cancels a context partway through the stream: the
+// first n Reads pass through, then the cancellation fires with the stream
+// still mid-flight — spill files already created and partially written.
+type cancelAfterReader struct {
+	r      io.Reader
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterReader) Read(p []byte) (int, error) {
+	if c.n == 0 {
+		c.cancel()
+	}
+	c.n--
+	// Small reads keep many records arriving after the cancellation point,
+	// so the partitioner is genuinely mid-stream when it notices.
+	if len(p) > 64 {
+		p = p[:64]
+	}
+	return c.r.Read(p)
+}
+
+// TestPartitionMidStreamCancelCleanup pins the cleanup contract on the
+// hardest path: cancellation firing while Partition is mid-stream, with
+// spill files already open and partially written (evictions forced by a
+// tiny resident cap). The partial spill directory must be gone before
+// Partition returns — this is what lets every caller treat a Partition
+// error as "nothing to clean up", including the multi-process coordinator
+// whose workers would otherwise inherit dangling paths.
+func TestPartitionMidStreamCancelCleanup(t *testing.T) {
+	parent := t.TempDir()
+	data := fastaBytes(t, workload(38, 1_000, 60, 40, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel roughly halfway through the byte stream.
+	r := &cancelAfterReader{r: bytes.NewReader(data), n: len(data) / 64 / 2, cancel: cancel}
+	_, err := shard.Partition(ctx, r, genome.FormatFASTA,
+		shard.SpillConfig{Shards: 4, Dir: parent, MaxResidentReads: 3})
+	if err == nil {
+		t.Fatal("mid-stream-cancelled partition succeeded")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Errorf("err = %v, want the context cancellation surfaced", err)
+	}
+	ents, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("partial spill state leaked after mid-stream cancellation: %v", names)
+	}
+}
+
 // TestSpillCounters pins the metrics export: partitioning reports the
 // spill.* series through the supplied Counters.
 func TestSpillCounters(t *testing.T) {
